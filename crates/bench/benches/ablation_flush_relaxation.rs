@@ -1,0 +1,52 @@
+//! **Ablation** — relaxed vs. strict `τ_flush` condition in the buffered
+//! predictor.
+//!
+//! The paper deliberately relaxes the flusher's second condition when
+//! predicting (Sec. 3.2.1): assume every dirty page flushes at expiry even
+//! if `τ_flush` would gate it, over-reserving by at most `τ_flush` rather
+//! than risking a surprise under-reservation. The strict variant honors
+//! the gate and predicts zero while below the threshold. Expected shape:
+//! the strict predictor suffers more foreground GC on buffered-heavy
+//! workloads (its zero forecasts leave flushes uncovered), for little or
+//! no WAF benefit.
+
+use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_workload::BenchmarkKind;
+
+fn main() {
+    let base = Experiment::standard();
+    let mut rows = Vec::new();
+    for benchmark in [
+        BenchmarkKind::Ycsb,
+        BenchmarkKind::Postmark,
+        BenchmarkKind::Filebench,
+    ] {
+        let relaxed = base.run(PolicyKind::Jit, benchmark);
+        let mut strict_exp = base.clone();
+        strict_exp.system.strict_tau_flush = true;
+        let strict = strict_exp.run(PolicyKind::Jit, benchmark);
+        rows.push((
+            benchmark.name().to_owned(),
+            vec![
+                (relaxed.fgc_request_stalls + relaxed.fgc_flush_stalls) as f64,
+                (strict.fgc_request_stalls + strict.fgc_flush_stalls) as f64,
+                relaxed.waf,
+                strict.waf,
+            ],
+        ));
+    }
+    print!(
+        "{}",
+        format_table(
+            "Ablation: relaxed vs strict tau_flush in the buffered predictor (JIT-GC)",
+            &[
+                "FGC(relaxed)".into(),
+                "FGC(strict)".into(),
+                "WAF(relaxed)".into(),
+                "WAF(strict)".into(),
+            ],
+            &rows,
+            2,
+        )
+    );
+}

@@ -1,0 +1,47 @@
+//! **Ablation** — victim-selection policy under JIT-GC.
+//!
+//! The paper modifies a stock victim selector with SIP filtering; the base
+//! selector is a design choice DESIGN.md calls out. Greedy (fewest valid)
+//! is the production default; cost-benefit should close some of the gap on
+//! skewed workloads by aging victims; FIFO and random are the degenerate
+//! baselines.
+
+use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_core::system::VictimKind;
+use jitgc_workload::BenchmarkKind;
+
+fn main() {
+    let base = Experiment::standard();
+    let selectors = [
+        ("greedy", VictimKind::Greedy),
+        ("cost-benefit", VictimKind::CostBenefit),
+        ("fifo", VictimKind::Fifo),
+        ("random", VictimKind::Random(7)),
+    ];
+    let columns: Vec<String> = selectors.iter().map(|(n, _)| (*n).to_owned()).collect();
+
+    let mut waf_rows = Vec::new();
+    let mut iops_rows = Vec::new();
+    for benchmark in [BenchmarkKind::Ycsb, BenchmarkKind::Postmark, BenchmarkKind::TpcC] {
+        let mut waf = Vec::new();
+        let mut iops = Vec::new();
+        for (_, kind) in selectors {
+            let mut exp = base.clone();
+            exp.system.victim = kind;
+            let report = exp.run(PolicyKind::Jit, benchmark);
+            waf.push(report.waf);
+            iops.push(report.iops);
+        }
+        waf_rows.push((benchmark.name().to_owned(), waf));
+        iops_rows.push((benchmark.name().to_owned(), iops));
+    }
+
+    print!(
+        "{}",
+        format_table("Ablation: victim selector vs WAF (JIT-GC)", &columns, &waf_rows, 3)
+    );
+    print!(
+        "{}",
+        format_table("Ablation: victim selector vs IOPS (JIT-GC)", &columns, &iops_rows, 0)
+    );
+}

@@ -1,0 +1,61 @@
+//! **Extension** — the full policy matrix, beyond the paper's Fig. 7 four:
+//! adds No-BGC (worst case), IDLE-GC (the related-work idle-time baseline,
+//! paper reference [7]) and the SIP-less JIT-GC ablation, on all six
+//! benchmarks, with absolute numbers.
+
+use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_workload::BenchmarkKind;
+
+fn main() {
+    let exp = Experiment::standard();
+    let policies = [
+        PolicyKind::NoBgc,
+        PolicyKind::ReservedPermille(500),
+        PolicyKind::ReservedPermille(1_500),
+        PolicyKind::Idle,
+        PolicyKind::Adp,
+        PolicyKind::JitNoSip,
+        PolicyKind::Jit,
+    ];
+    let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
+
+    let mut iops_rows = Vec::new();
+    let mut waf_rows = Vec::new();
+    let mut stall_rows = Vec::new();
+    for benchmark in BenchmarkKind::all() {
+        let reports: Vec<_> = policies.iter().map(|&p| exp.run(p, benchmark)).collect();
+        iops_rows.push((
+            benchmark.name().to_owned(),
+            reports.iter().map(|r| r.iops).collect(),
+        ));
+        waf_rows.push((
+            benchmark.name().to_owned(),
+            reports.iter().map(|r| r.waf).collect(),
+        ));
+        stall_rows.push((
+            benchmark.name().to_owned(),
+            reports
+                .iter()
+                .map(|r| (r.fgc_request_stalls + r.fgc_flush_stalls) as f64)
+                .collect(),
+        ));
+    }
+
+    print!(
+        "{}",
+        format_table("Extended comparison: IOPS (absolute)", &columns, &iops_rows, 0)
+    );
+    print!(
+        "{}",
+        format_table("Extended comparison: WAF", &columns, &waf_rows, 2)
+    );
+    print!(
+        "{}",
+        format_table(
+            "Extended comparison: foreground-GC stalls",
+            &columns,
+            &stall_rows,
+            0
+        )
+    );
+}

@@ -1,0 +1,59 @@
+//! **Paper Fig. 2** — impact of the reserved capacity `C_resv` on IOPS
+//! (a) and WAF (b).
+//!
+//! Sweeps `C_resv ∈ {0.5, 0.75, 1.0, 1.25, 1.5} × C_OP` over all six
+//! benchmarks and prints both panels, normalized to A-BGC
+//! (`C_resv = 1.5 × C_OP`) exactly as the paper plots them.
+//!
+//! Expected shape: normalized IOPS non-decreasing in `C_resv`; normalized
+//! WAF decreasing as `C_resv` shrinks — the performance/lifetime tradeoff
+//! that motivates JIT-GC.
+
+use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_workload::BenchmarkKind;
+
+fn main() {
+    let exp = Experiment::standard();
+    let sweep = [500u64, 750, 1_000, 1_250, 1_500];
+    let columns: Vec<String> = sweep
+        .iter()
+        .map(|p| format!("{:.2}OP", *p as f64 / 1000.0))
+        .collect();
+
+    let mut iops_rows = Vec::new();
+    let mut waf_rows = Vec::new();
+    for benchmark in BenchmarkKind::all() {
+        let reports: Vec<_> = sweep
+            .iter()
+            .map(|&permille| exp.run(PolicyKind::ReservedPermille(permille), benchmark))
+            .collect();
+        let baseline = reports.last().expect("sweep is non-empty"); // 1.5 OP = A-BGC
+        iops_rows.push((
+            benchmark.name().to_owned(),
+            reports.iter().map(|r| r.normalized_iops(baseline)).collect(),
+        ));
+        waf_rows.push((
+            benchmark.name().to_owned(),
+            reports.iter().map(|r| r.normalized_waf(baseline)).collect(),
+        ));
+    }
+
+    print!(
+        "{}",
+        format_table(
+            "Fig. 2(a): normalized IOPS vs reserved capacity (baseline: 1.5OP = A-BGC)",
+            &columns,
+            &iops_rows,
+            3,
+        )
+    );
+    print!(
+        "{}",
+        format_table(
+            "Fig. 2(b): normalized WAF vs reserved capacity (baseline: 1.5OP = A-BGC)",
+            &columns,
+            &waf_rows,
+            3,
+        )
+    );
+}

@@ -1,0 +1,57 @@
+//! **Paper Fig. 7** — normalized IOPS (a) and WAF (b) of L-BGC, A-BGC,
+//! ADP-GC, and JIT-GC across all six benchmarks, normalized to A-BGC.
+//!
+//! Expected shape (the paper's headline result): JIT-GC's IOPS is close to
+//! A-BGC's — well above L-BGC's — for the buffered-heavy workloads (YCSB,
+//! Postmark, Filebench, Bonnie++) and somewhat below A-BGC for the
+//! direct-heavy ones (Tiobench, TPC-C); JIT-GC's WAF stays near L-BGC's,
+//! far below A-BGC's; ADP-GC sits between, worse than JIT-GC on both
+//! metrics for cache-predictable workloads.
+
+use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_workload::BenchmarkKind;
+
+fn main() {
+    let exp = Experiment::standard();
+    let policies = [
+        PolicyKind::ReservedPermille(500),
+        PolicyKind::ReservedPermille(1_500),
+        PolicyKind::Adp,
+        PolicyKind::Jit,
+    ];
+    let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
+
+    let mut iops_rows = Vec::new();
+    let mut waf_rows = Vec::new();
+    for benchmark in BenchmarkKind::all() {
+        let reports: Vec<_> = policies.iter().map(|&p| exp.run(p, benchmark)).collect();
+        let baseline = &reports[1]; // A-BGC
+        iops_rows.push((
+            benchmark.name().to_owned(),
+            reports.iter().map(|r| r.normalized_iops(baseline)).collect(),
+        ));
+        waf_rows.push((
+            benchmark.name().to_owned(),
+            reports.iter().map(|r| r.normalized_waf(baseline)).collect(),
+        ));
+    }
+
+    print!(
+        "{}",
+        format_table(
+            "Fig. 7(a): normalized IOPS by policy (baseline: A-BGC)",
+            &columns,
+            &iops_rows,
+            3,
+        )
+    );
+    print!(
+        "{}",
+        format_table(
+            "Fig. 7(b): normalized WAF by policy (baseline: A-BGC)",
+            &columns,
+            &waf_rows,
+            3,
+        )
+    );
+}

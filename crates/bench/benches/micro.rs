@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks for the hot paths of the simulator itself:
+//! FTL writes, GC collection, victim selection, page-cache operations, and
+//! the two predictors. These guard the simulator's own performance (a
+//! 600-second experiment replays millions of operations), not the paper's
+//! results.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jitgc_core::predictor::{BufferedWritePredictor, DirectWritePredictor};
+use jitgc_ftl::{Ftl, FtlConfig, GreedySelector};
+use jitgc_nand::Lpn;
+use jitgc_pagecache::{PageCache, PageCacheConfig};
+use jitgc_sim::{ByteSize, SimDuration, SimRng, SimTime};
+
+fn test_ftl() -> Ftl {
+    Ftl::new(
+        FtlConfig::builder()
+            .user_pages(4_096)
+            .op_permille(150)
+            .pages_per_block(64)
+            .build(),
+        Box::new(GreedySelector),
+    )
+}
+
+fn bench_ftl_write(c: &mut Criterion) {
+    c.bench_function("ftl_host_write_sequential", |b| {
+        b.iter_batched_ref(
+            test_ftl,
+            |ftl| {
+                for lpn in 0..4_096u64 {
+                    ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("ftl_host_write_with_gc_pressure", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut ftl = test_ftl();
+                for lpn in 0..4_096u64 {
+                    ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
+                }
+                ftl
+            },
+            |ftl| {
+                let mut rng = SimRng::seed(7);
+                for _ in 0..4_096 {
+                    let lpn = rng.range_u64(0, 4_096);
+                    ftl.host_write(Lpn(lpn), SimTime::from_secs(1))
+                        .expect("in range");
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_bgc(c: &mut Criterion) {
+    c.bench_function("ftl_background_collect_block", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut ftl = test_ftl();
+                let mut rng = SimRng::seed(3);
+                for _ in 0..12_000 {
+                    let lpn = rng.range_u64(0, 4_096);
+                    ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
+                }
+                ftl
+            },
+            |ftl| {
+                ftl.background_collect(
+                    SimTime::from_secs(2),
+                    SimDuration::from_secs(1),
+                    None,
+                );
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_pagecache(c: &mut Criterion) {
+    let config = PageCacheConfig::builder()
+        .capacity_pages(8_192)
+        .tau_expire(SimDuration::from_secs(3))
+        .build();
+    c.bench_function("pagecache_write_flush_cycle", |b| {
+        b.iter_batched_ref(
+            || PageCache::new(config),
+            |cache| {
+                let mut rng = SimRng::seed(11);
+                for i in 0..4_096u64 {
+                    cache.write(Lpn(rng.range_u64(0, 8_192)), SimTime::from_millis(i));
+                }
+                cache.flusher_tick(SimTime::from_secs(10));
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let config = PageCacheConfig::builder()
+        .capacity_pages(8_192)
+        .tau_expire(SimDuration::from_secs(3))
+        .build();
+    let mut cache = PageCache::new(config);
+    let mut rng = SimRng::seed(13);
+    for i in 0..4_096u64 {
+        cache.write(Lpn(rng.range_u64(0, 8_192)), SimTime::from_millis(i));
+    }
+    let predictor = BufferedWritePredictor::new(
+        SimDuration::from_millis(500),
+        SimDuration::from_secs(3),
+        ByteSize::kib(4),
+    );
+    c.bench_function("buffered_predictor_scan_4k_dirty", |b| {
+        b.iter(|| predictor.predict(&cache, SimTime::from_secs(5)));
+    });
+
+    c.bench_function("direct_predictor_observe_predict", |b| {
+        let mut pred = DirectWritePredictor::new(
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(3),
+            0.8,
+            256 * 1024,
+        );
+        let mut rng = SimRng::seed(17);
+        b.iter(|| {
+            pred.observe_interval(rng.range_u64(0, 16 << 20));
+            pred.predict()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ftl_write,
+    bench_bgc,
+    bench_pagecache,
+    bench_predictors
+);
+criterion_main!(benches);

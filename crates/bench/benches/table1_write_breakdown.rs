@@ -1,0 +1,38 @@
+//! **Paper Table 1** — breakdown of write types in the six benchmarks.
+//!
+//! Drains each generator and measures the buffered : direct split of its
+//! write pages, printed next to the paper's values. The generators are
+//! *configured* to these targets; this experiment verifies the whole
+//! pipeline (sizes, request mixing, log regions) actually delivers them.
+
+use jitgc_sim::SimDuration;
+use jitgc_workload::{measure_write_mix, BenchmarkKind, WorkloadConfig};
+
+fn main() {
+    println!("\n=== Table 1: breakdown of write types (percent of written pages) ===");
+    println!(
+        "{:<12}{:>16}{:>16}{:>16}{:>16}",
+        "benchmark", "buffered(meas)", "direct(meas)", "buffered(paper)", "direct(paper)"
+    );
+    let cfg = WorkloadConfig::builder()
+        .working_set_pages(23_716)
+        .duration(SimDuration::from_secs(600))
+        .mean_iops(250.0)
+        .burst_mean(1_024.0)
+        .seed(42)
+        .build();
+    for kind in BenchmarkKind::all() {
+        let mut workload = kind.build(cfg);
+        let mix = measure_write_mix(workload.as_mut(), u64::MAX);
+        let measured = mix.buffered_fraction().expect("every benchmark writes");
+        let paper = kind.write_mix().buffered_fraction;
+        println!(
+            "{:<12}{:>15.1}%{:>15.1}%{:>15.1}%{:>15.1}%",
+            kind.name(),
+            measured * 100.0,
+            (1.0 - measured) * 100.0,
+            paper * 100.0,
+            (1.0 - paper) * 100.0,
+        );
+    }
+}

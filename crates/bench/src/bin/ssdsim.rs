@@ -1,0 +1,283 @@
+//! `ssdsim` — run one configurable simulation from the command line and
+//! print the report as a table or JSON.
+//!
+//! ```text
+//! ssdsim [OPTIONS]
+//!   --benchmark <ycsb|postmark|filebench|bonnie|tiobench|tpcc>   (default ycsb)
+//!   --policy <l-bgc|a-bgc|adp-gc|idle-gc|jit-gc|jit-nosip|no-bgc|reserved:<permille>>
+//!                                                                (default jit-gc)
+//!   --seconds <N>          simulated duration          (default 300)
+//!   --iops <F>             mean arrival rate           (default 250)
+//!   --burst <F>            mean burst length           (default 1024)
+//!   --seed <N>             RNG seed                    (default 42)
+//!   --victim <greedy|cost-benefit|fifo|random:<seed>>  (default greedy)
+//!   --no-prefill           start from an erased device (default: aged)
+//!   --hot-cold             enable FTL hot/cold streams
+//!   --strict-tau-flush     strict predictor variant
+//!   --wear-leveling        enable static wear leveling
+//!   --in-device-manager    paper Fig. 3(a) placement (no SG_IO cost)
+//!   --timeline <path>      write a per-interval CSV time series
+//!   --config <path>        load a full SystemConfig from JSON (flags that
+//!                          modify the system still apply on top)
+//!   --dump-config <path>   write the effective SystemConfig to JSON and exit
+//!   --json                 emit the full SimReport as JSON
+//! ```
+
+use jitgc_bench::PolicyKind;
+use jitgc_core::system::{ManagerPlacement, SsdSystem, SystemConfig, VictimKind};
+use jitgc_ftl::FtlConfig;
+use jitgc_sim::SimDuration;
+use jitgc_workload::{BenchmarkKind, WorkloadConfig};
+
+#[derive(Debug)]
+struct Args {
+    benchmark: BenchmarkKind,
+    policy: PolicyKind,
+    seconds: u64,
+    iops: f64,
+    burst: f64,
+    seed: u64,
+    victim: VictimKind,
+    prefill: bool,
+    hot_cold: bool,
+    strict_tau_flush: bool,
+    wear_leveling: bool,
+    in_device_manager: bool,
+    timeline: Option<String>,
+    config: Option<String>,
+    dump_config: Option<String>,
+    json: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            benchmark: BenchmarkKind::Ycsb,
+            policy: PolicyKind::Jit,
+            seconds: 300,
+            iops: 250.0,
+            burst: 1_024.0,
+            seed: 42,
+            victim: VictimKind::Greedy,
+            prefill: true,
+            hot_cold: false,
+            strict_tau_flush: false,
+            wear_leveling: false,
+            in_device_manager: false,
+            timeline: None,
+            config: None,
+            dump_config: None,
+            json: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ssdsim [--benchmark B] [--policy P] [--seconds N] [--iops F]");
+    eprintln!("              [--burst F] [--seed N] [--victim V] [--no-prefill]");
+    eprintln!("              [--hot-cold] [--strict-tau-flush] [--wear-leveling]");
+    eprintln!("              [--in-device-manager] [--json]");
+    eprintln!("see the module docs (`ssdsim.rs`) for value sets");
+    std::process::exit(2)
+}
+
+fn parse_benchmark(v: &str) -> BenchmarkKind {
+    match v {
+        "ycsb" => BenchmarkKind::Ycsb,
+        "postmark" => BenchmarkKind::Postmark,
+        "filebench" => BenchmarkKind::Filebench,
+        "bonnie" => BenchmarkKind::Bonnie,
+        "tiobench" => BenchmarkKind::Tiobench,
+        "tpcc" => BenchmarkKind::TpcC,
+        other => {
+            eprintln!("unknown benchmark: {other}");
+            usage()
+        }
+    }
+}
+
+fn parse_policy(v: &str) -> PolicyKind {
+    match v {
+        "l-bgc" => PolicyKind::ReservedPermille(500),
+        "a-bgc" => PolicyKind::ReservedPermille(1_500),
+        "adp-gc" => PolicyKind::Adp,
+        "idle-gc" => PolicyKind::Idle,
+        "jit-gc" => PolicyKind::Jit,
+        "jit-nosip" => PolicyKind::JitNoSip,
+        "no-bgc" => PolicyKind::NoBgc,
+        other => match other.strip_prefix("reserved:") {
+            Some(p) => PolicyKind::ReservedPermille(p.parse().unwrap_or_else(|_| usage())),
+            None => {
+                eprintln!("unknown policy: {other}");
+                usage()
+            }
+        },
+    }
+}
+
+fn parse_victim(v: &str) -> VictimKind {
+    match v {
+        "greedy" => VictimKind::Greedy,
+        "cost-benefit" => VictimKind::CostBenefit,
+        "fifo" => VictimKind::Fifo,
+        other => match other.strip_prefix("random:") {
+            Some(s) => VictimKind::Random(s.parse().unwrap_or_else(|_| usage())),
+            None => {
+                eprintln!("unknown victim policy: {other}");
+                usage()
+            }
+        },
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--benchmark" => args.benchmark = parse_benchmark(&value()),
+            "--policy" => args.policy = parse_policy(&value()),
+            "--seconds" => args.seconds = value().parse().unwrap_or_else(|_| usage()),
+            "--iops" => args.iops = value().parse().unwrap_or_else(|_| usage()),
+            "--burst" => args.burst = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--victim" => args.victim = parse_victim(&value()),
+            "--no-prefill" => args.prefill = false,
+            "--hot-cold" => args.hot_cold = true,
+            "--strict-tau-flush" => args.strict_tau_flush = true,
+            "--wear-leveling" => args.wear_leveling = true,
+            "--in-device-manager" => args.in_device_manager = true,
+            "--timeline" => args.timeline = Some(value()),
+            "--config" => args.config = Some(value()),
+            "--dump-config" => args.dump_config = Some(value()),
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut system = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2)
+            });
+            serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(2)
+            })
+        }
+        None => SystemConfig::default_sim(),
+    };
+    system.victim = args.victim;
+    system.prefill = args.prefill;
+    system.strict_tau_flush = args.strict_tau_flush;
+    system.wear_leveling = args.wear_leveling;
+    if args.in_device_manager {
+        system.manager_placement = ManagerPlacement::Device;
+    }
+    if args.timeline.is_some() {
+        system.record_timeline = true;
+    }
+    if args.hot_cold {
+        system.ftl = FtlConfig::builder()
+            .user_pages(system.ftl.user_pages())
+            .op_permille(system.ftl.op_permille())
+            .pages_per_block(system.ftl.geometry().pages_per_block())
+            .page_size_bytes(system.ftl.geometry().page_size().as_u64())
+            .gc_reserve_blocks(system.ftl.gc_reserve_blocks())
+            .hot_cold_streams(SimDuration::from_secs(5))
+            .build();
+    }
+
+    if let Some(path) = &args.dump_config {
+        let json = serde_json::to_string_pretty(&system).expect("config serializes");
+        std::fs::write(path, json).expect("write config JSON");
+        eprintln!("wrote effective config to {path}");
+        return;
+    }
+
+    let workload_config = WorkloadConfig::builder()
+        .working_set_pages(system.ftl.user_pages() - system.ftl.op_pages() / 2)
+        .duration(SimDuration::from_secs(args.seconds))
+        .mean_iops(args.iops)
+        .burst_mean(args.burst)
+        .seed(args.seed)
+        .build();
+    let workload = args.benchmark.build(workload_config);
+    let policy = args.policy.build(&system);
+    let report = SsdSystem::new(system, policy, workload).run();
+
+    if let Some(path) = &args.timeline {
+        let mut csv = String::from(
+            "t_secs,free_pages,target_pages,host_pages_interval,fgc_cumulative,bgc_blocks_cumulative,waf\n",
+        );
+        for s in &report.timeline {
+            csv.push_str(&format!(
+                "{:.3},{},{},{},{},{},{:.4}\n",
+                s.t_secs,
+                s.free_pages,
+                s.target_pages,
+                s.host_pages_interval,
+                s.fgc_cumulative,
+                s.bgc_blocks_cumulative,
+                s.waf
+            ));
+        }
+        std::fs::write(path, csv).expect("write timeline CSV");
+        eprintln!("wrote {} interval samples to {path}", report.timeline.len());
+    }
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        return;
+    }
+    println!("policy          {}", report.policy);
+    println!("workload        {}", report.workload);
+    println!("victim          {}", report.victim_policy);
+    println!("duration        {:.1} s", report.duration_secs);
+    println!("requests        {}", report.ops);
+    println!("IOPS            {:.0}", report.iops);
+    println!("WAF             {:.3}", report.waf);
+    println!("erases          {}", report.nand_erases);
+    println!(
+        "wear            min {} / mean {:.1} / max {} (σ {:.2})",
+        report.wear.min, report.wear.mean, report.wear.max, report.wear.std_dev
+    );
+    println!(
+        "FGC stalls      {} requests + {} flush episodes",
+        report.fgc_request_stalls, report.fgc_flush_stalls
+    );
+    println!("throttled       {}", report.throttled_requests);
+    println!("BGC blocks      {}", report.bgc_blocks);
+    println!("GC migrations   {}", report.gc_pages_migrated);
+    println!(
+        "latency (µs)    mean {} / p50 {} / p99 {} / p999 {} / max {}",
+        report.latency_mean_us,
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.latency_p999_us,
+        report.latency_max_us
+    );
+    if let Some(acc) = report.prediction_accuracy_percent {
+        println!("prediction      {acc:.1} %");
+    }
+    if let Some(sip) = report.sip_filtered_fraction {
+        println!("SIP filtered    {:.1} %", sip * 100.0);
+    }
+    if let Some(hit) = report.cache_hit_ratio {
+        println!("cache hits      {:.1} %", hit * 100.0);
+    }
+}

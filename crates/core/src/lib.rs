@@ -1,0 +1,52 @@
+//! JIT-GC: just-in-time garbage collection for SSDs (DAC 2015).
+//!
+//! This crate is the paper's contribution, built on the substrate crates:
+//!
+//! * [`predictor`] — the **future write demand predictor** (paper Sec. 3.2):
+//!   [`predictor::BufferedWritePredictor`] scans the page cache and bounds
+//!   the flush traffic of each future write-back interval (also producing
+//!   the SIP list); [`predictor::DirectWritePredictor`] maintains the CDH
+//!   of past direct-write windows and reserves a percentile of it;
+//!   [`predictor::AccuracyTracker`] scores predictions against reality
+//!   (paper Table 2).
+//! * [`manager`] — the **JIT-GC manager** (paper Sec. 3.3): given demands
+//!   and the device's free capacity, decides whether background GC must
+//!   run *now* and how much to reclaim (`T_idle` vs `T_gc`).
+//! * [`policy`] — pluggable BGC invocation policies: the paper's baselines
+//!   [`policy::ReservedCapacity`] (L-BGC, A-BGC, and the Fig. 2 sweep),
+//!   the cache-oblivious [`policy::AdpGc`], the full [`policy::JitGc`],
+//!   and [`policy::NoBgc`].
+//! * [`system`] — the full-system simulation engine: workload → page cache
+//!   → FTL → NAND with idle-time BGC, producing a [`system::SimReport`]
+//!   with IOPS, WAF, latency percentiles, prediction accuracy and SIP
+//!   statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use jitgc_core::policy::JitGc;
+//! use jitgc_core::system::{SsdSystem, SystemConfig};
+//! use jitgc_workload::{BenchmarkKind, WorkloadConfig};
+//! use jitgc_sim::SimDuration;
+//!
+//! let system_config = SystemConfig::small_for_tests();
+//! let workload_config = WorkloadConfig::builder()
+//!     .working_set_pages(system_config.ftl.user_pages() / 2)
+//!     .duration(SimDuration::from_secs(30))
+//!     .build();
+//! let workload = BenchmarkKind::Ycsb.build(workload_config);
+//! let policy = JitGc::from_system_config(&system_config);
+//!
+//! let mut system = SsdSystem::new(system_config, Box::new(policy), workload);
+//! let report = system.run();
+//! assert!(report.iops > 0.0);
+//! assert!(report.waf >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod policy;
+pub mod predictor;
+pub mod system;

@@ -1,0 +1,20 @@
+//! The future write demand predictor (paper Sec. 3.2).
+//!
+//! Two sub-predictors cover the two write paths:
+//!
+//! * [`BufferedWritePredictor`] — deterministic: the page cache's flush
+//!   rules are known, so scanning dirty-page ages yields a per-interval
+//!   upper bound on flush traffic plus the SIP list.
+//! * [`DirectWritePredictor`] — statistical: direct writes bypass the
+//!   cache, so only their historical volume (the CDH) is available.
+//!
+//! [`AccuracyTracker`] scores any predictor's next-interval estimates
+//! against observed traffic, reproducing the paper's Table 2 metric.
+
+mod accuracy;
+mod buffered;
+mod direct;
+
+pub use accuracy::AccuracyTracker;
+pub use buffered::{BufferedDemand, BufferedWritePredictor};
+pub use direct::{DirectDemand, DirectWritePredictor};

@@ -1,0 +1,257 @@
+//! System-level configuration.
+
+use jitgc_ftl::{CostBenefitSelector, FifoSelector, FtlConfig, GreedySelector, RandomSelector,
+                VictimSelector};
+use jitgc_pagecache::PageCacheConfig;
+use jitgc_sim::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+
+/// Where the JIT-GC manager runs (paper Fig. 3).
+///
+/// The paper's *ideal* implementation (Fig. 3(a)) executes the manager in
+/// the SSD controller, so only predictor output crosses the host
+/// interface. Practical constraints forced the *actual* implementation
+/// (Fig. 3(b)) to run the manager in the host and drive the SSD with
+/// explicit commands over `SG_IO`, paying ~160 µs per exchange. The
+/// placement changes only that interface cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ManagerPlacement {
+    /// Fig. 3(b): manager in the host kernel; each tick pays the
+    /// configured per-command overhead for the demand/SIP/C_free/BGC
+    /// exchanges. This is the paper's measured configuration and the
+    /// default.
+    Host,
+    /// Fig. 3(a): manager inside the SSD controller; no interface cost.
+    Device,
+}
+
+/// Which victim-selection policy the FTL uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VictimKind {
+    /// Fewest valid pages first (default).
+    Greedy,
+    /// Age-weighted cost-benefit.
+    CostBenefit,
+    /// Least recently written.
+    Fifo,
+    /// Uniform random with the given seed (worst-case baseline).
+    Random(u64),
+}
+
+impl VictimKind {
+    /// Instantiates the selector.
+    #[must_use]
+    pub fn build(self) -> Box<dyn VictimSelector> {
+        match self {
+            VictimKind::Greedy => Box::new(GreedySelector),
+            VictimKind::CostBenefit => Box::new(CostBenefitSelector),
+            VictimKind::Fifo => Box::new(FifoSelector),
+            VictimKind::Random(seed) => Box::new(RandomSelector::new(seed)),
+        }
+    }
+}
+
+/// Full configuration of an [`SsdSystem`](crate::system::SsdSystem).
+///
+/// Serializable, so whole experiment setups can be stored and replayed
+/// (`ssdsim --config setup.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// FTL / device configuration.
+    pub ftl: FtlConfig,
+    /// Page cache configuration (its `τ_expire` is the prediction horizon).
+    pub cache: PageCacheConfig,
+    /// Flusher-thread period `p` (paper default 5 s).
+    pub flusher_period: SimDuration,
+    /// Host-side time for a page-cache hit or absorbed buffered write.
+    pub cache_op_time: SimDuration,
+    /// Per-command overhead of the extended host interface (the paper
+    /// measured 160 µs per SG_IO exchange).
+    pub host_command_overhead: SimDuration,
+    /// CDH coverage target for the direct-write predictor (paper: 0.8).
+    pub cdh_percentile: f64,
+    /// CDH bin width in bytes.
+    pub cdh_bin_bytes: u64,
+    /// Victim-selection policy.
+    pub victim: VictimKind,
+    /// Where the JIT-GC manager runs (paper Fig. 3); determines whether
+    /// ticks pay the host-interface overhead.
+    pub manager_placement: ManagerPlacement,
+    /// Number of concurrent application threads (closed-loop streams).
+    /// Requests are dealt round-robin; each thread issues its next request
+    /// a think-time after its own previous completion, all sharing the one
+    /// device queue. Higher depths raise utilization and make every
+    /// foreground-GC stall block more work.
+    pub queue_depth: u32,
+    /// Use the strict `τ_flush` model in the buffered predictor
+    /// (ablation; the paper relaxes it).
+    pub strict_tau_flush: bool,
+    /// Run static wear leveling during ticks (extension beyond the paper).
+    pub wear_leveling: bool,
+    /// Age the device before measuring: write the workload's whole working
+    /// set once (in scrambled order) and reset counters. A 2015-era SSD
+    /// without TRIM converges to this state — every LBA ever written stays
+    /// valid — and it is what makes `C_resv` sizing matter.
+    pub prefill: bool,
+    /// Record one [`IntervalSample`](crate::system::IntervalSample) per
+    /// write-back interval into the report's `timeline` (costs memory
+    /// proportional to the run length; off by default).
+    pub record_timeline: bool,
+}
+
+impl SystemConfig {
+    /// A small configuration for unit/integration tests: 2 048 user pages
+    /// (8 MiB at 4 KiB), 7 % OP, 64-page blocks, 512-page cache.
+    #[must_use]
+    pub fn small_for_tests() -> Self {
+        let ftl = FtlConfig::builder()
+            .user_pages(2_048)
+            .op_permille(70)
+            .pages_per_block(64)
+            .page_size_bytes(4_096)
+            .gc_reserve_blocks(2)
+            .build();
+        let cache = PageCacheConfig::builder()
+            .capacity_pages(2_048)
+            .tau_expire(SimDuration::from_secs(30))
+            .tau_flush_permille(250)
+            .build();
+        SystemConfig {
+            ftl,
+            cache,
+            flusher_period: SimDuration::from_secs(5),
+            cache_op_time: SimDuration::from_micros(2),
+            host_command_overhead: SimDuration::from_micros(160),
+            cdh_percentile: 0.8,
+            cdh_bin_bytes: 64 * 1024,
+            victim: VictimKind::Greedy,
+            manager_placement: ManagerPlacement::Host,
+            queue_depth: 1,
+            strict_tau_flush: false,
+            wear_leveling: false,
+            prefill: false,
+            record_timeline: false,
+        }
+    }
+
+    /// The benchmark-scale configuration used by the experiment harness:
+    /// 24 576 user pages (96 MiB at 4 KiB), 7 % OP like the SM843T,
+    /// 128-page blocks, 8 192-page cache.
+    ///
+    /// **Scale model.** The device is ~2 500× smaller than the paper's
+    /// 240 GB SM843T but just as fast, so the host-side write-back
+    /// constants are scaled by 5× to preserve the paper's governing
+    /// ratios: `p = 1 s`, `τ_expire = 6 s` (`N_wb = 6` exactly as with the
+    /// paper's 5 s/30 s), keeping one write-back window's worth of write
+    /// traffic small relative to `C_OP` — on the SM843T a 30 s window is
+    /// ~10 % of `C_OP`; at simulator scale a 3 s window preserves that
+    /// relationship. DESIGN.md documents this substitution.
+    #[must_use]
+    pub fn default_sim() -> Self {
+        let ftl = FtlConfig::builder()
+            .user_pages(24_576)
+            .op_permille(70)
+            .pages_per_block(128)
+            .page_size_bytes(4_096)
+            .gc_reserve_blocks(2)
+            .build();
+        let cache = PageCacheConfig::builder()
+            .capacity_pages(8_192)
+            .tau_expire(SimDuration::from_secs(3))
+            .tau_flush_permille(100)
+            .build();
+        SystemConfig {
+            ftl,
+            cache,
+            flusher_period: SimDuration::from_millis(500),
+            cache_op_time: SimDuration::from_micros(2),
+            host_command_overhead: SimDuration::from_micros(160),
+            cdh_percentile: 0.8,
+            cdh_bin_bytes: 256 * 1024,
+            victim: VictimKind::Greedy,
+            manager_placement: ManagerPlacement::Host,
+            queue_depth: 1,
+            strict_tau_flush: false,
+            wear_leveling: false,
+            prefill: true,
+            record_timeline: false,
+        }
+    }
+
+    /// The prediction horizon `τ_expire` (taken from the cache config).
+    #[must_use]
+    pub fn tau_expire(&self) -> SimDuration {
+        self.cache.tau_expire()
+    }
+
+    /// The horizon in intervals, `N_wb = τ_expire / p`.
+    #[must_use]
+    pub fn nwb(&self) -> usize {
+        self.tau_expire().div_duration(self.flusher_period) as usize
+    }
+
+    /// Initial `(B_w, B_gc)` bandwidth estimates in bytes/second, derived
+    /// from the NAND timing model: `B_w` is the sustained program
+    /// bandwidth; `B_gc` assumes half-valid victims (each reclaimed page
+    /// costs one migration plus its share of the erase).
+    #[must_use]
+    pub fn default_bandwidths(&self) -> (f64, f64) {
+        let timing = self.ftl.timing();
+        let page = self.ftl.geometry().page_size();
+        let bw = timing.program_bandwidth(page);
+        let ppb = u64::from(self.ftl.geometry().pages_per_block());
+        let freed = (ppb / 2).max(1);
+        let gc_time = timing.page_migrate_cost().saturating_mul(ppb / 2)
+            + timing.block_erase_cost();
+        let gc_bw = (page.as_u64() * freed) as f64 / gc_time.as_secs_f64();
+        (bw, gc_bw)
+    }
+
+    /// The user capacity `C_user` in bytes.
+    #[must_use]
+    pub fn user_capacity(&self) -> ByteSize {
+        self.ftl.user_capacity()
+    }
+
+    /// The over-provisioning capacity `C_OP` in bytes.
+    #[must_use]
+    pub fn op_capacity(&self) -> ByteSize {
+        self.ftl.op_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_coherent() {
+        for cfg in [SystemConfig::small_for_tests(), SystemConfig::default_sim()] {
+            assert_eq!(cfg.nwb(), 6);
+            assert!(cfg.op_capacity() < cfg.user_capacity());
+            let (bw, gc_bw) = cfg.default_bandwidths();
+            assert!(bw > 0.0 && gc_bw > 0.0);
+            assert!(gc_bw < bw, "GC reclaims slower than plain writes");
+        }
+    }
+
+    #[test]
+    fn victim_kinds_build() {
+        for kind in [
+            VictimKind::Greedy,
+            VictimKind::CostBenefit,
+            VictimKind::Fifo,
+            VictimKind::Random(1),
+        ] {
+            let sel = kind.build();
+            assert!(!sel.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn tau_expire_comes_from_cache() {
+        let cfg = SystemConfig::small_for_tests();
+        assert_eq!(cfg.tau_expire(), cfg.cache.tau_expire());
+    }
+}

@@ -1,0 +1,749 @@
+//! The simulation engine proper.
+
+use crate::policy::{GcPolicy, IntervalObservation};
+use crate::predictor::{AccuracyTracker, BufferedWritePredictor, DirectWritePredictor};
+use crate::system::{SimReport, SystemConfig};
+use jitgc_ftl::{Ftl, FtlError};
+use jitgc_pagecache::PageCache;
+use jitgc_sim::stats::LatencyRecorder;
+use jitgc_sim::{ByteSize, SimDuration, SimTime};
+use jitgc_workload::{IoKind, IoRequest, Workload};
+
+/// A complete simulated storage system: one workload driving one page
+/// cache and one FTL under one background-GC policy.
+///
+/// See the [module documentation](crate::system) for the execution model.
+/// Construction wires everything; [`run`](SsdSystem::run) consumes the
+/// workload and returns the [`SimReport`].
+pub struct SsdSystem {
+    config: SystemConfig,
+    ftl: Ftl,
+    cache: PageCache,
+    policy: Box<dyn GcPolicy>,
+    workload: Box<dyn Workload>,
+    buffered_pred: BufferedWritePredictor,
+    direct_pred: DirectWritePredictor,
+    accuracy: AccuracyTracker,
+    latencies: LatencyRecorder,
+
+    // Timeline.
+    device_busy_until: SimTime,
+    schedule: SimTime,
+    /// Per application thread: when its previous request completed.
+    /// `queue_depth` threads share the workload stream round-robin.
+    thread_completion: Vec<SimTime>,
+    next_thread: usize,
+    next_tick: SimTime,
+    /// BGC reclaims toward this free-capacity target during idle gaps.
+    target_free: ByteSize,
+
+    // Interval accounting.
+    direct_bytes_interval: u64,
+    host_pages_at_tick: u64,
+    /// Per-interval device write traffic (bytes), one entry per past tick.
+    interval_actuals: Vec<u64>,
+    /// Horizon predictions awaiting scoring: (tick index they were made
+    /// at, predicted bytes over the following `N_wb` intervals).
+    pending_predictions: std::collections::VecDeque<(usize, u64)>,
+
+    // Counters.
+    ops: u64,
+    reads: u64,
+    buffered_writes: u64,
+    direct_writes: u64,
+    trims: u64,
+    fgc_request_stalls: u64,
+    fgc_flush_stalls: u64,
+    throttled_requests: u64,
+    timeline: Vec<crate::system::IntervalSample>,
+}
+
+impl SsdSystem {
+    /// Builds a system from its three parts.
+    #[must_use]
+    pub fn new(
+        config: SystemConfig,
+        policy: Box<dyn GcPolicy>,
+        workload: Box<dyn Workload>,
+    ) -> Self {
+        let mut ftl = Ftl::new(config.ftl.clone(), config.victim.build());
+        ftl.set_sip_filter_enabled(policy.uses_sip());
+        let cache = PageCache::new(config.cache);
+        let mut buffered_pred = BufferedWritePredictor::new(
+            config.flusher_period,
+            config.tau_expire(),
+            config.ftl.geometry().page_size(),
+        );
+        if config.strict_tau_flush {
+            buffered_pred = buffered_pred.with_strict_tau_flush();
+        }
+        let direct_pred = DirectWritePredictor::new(
+            config.flusher_period,
+            config.tau_expire(),
+            config.cdh_percentile,
+            config.cdh_bin_bytes,
+        );
+        let next_tick = SimTime::ZERO + config.flusher_period;
+        SsdSystem {
+            ftl,
+            cache,
+            policy,
+            workload,
+            buffered_pred,
+            direct_pred,
+            accuracy: AccuracyTracker::new(),
+            latencies: LatencyRecorder::new(),
+            device_busy_until: SimTime::ZERO,
+            schedule: SimTime::ZERO,
+            thread_completion: vec![SimTime::ZERO; config.queue_depth.max(1) as usize],
+            next_thread: 0,
+            next_tick,
+            target_free: ByteSize::ZERO,
+            direct_bytes_interval: 0,
+            host_pages_at_tick: 0,
+            interval_actuals: Vec::new(),
+            pending_predictions: std::collections::VecDeque::new(),
+            ops: 0,
+            reads: 0,
+            buffered_writes: 0,
+            direct_writes: 0,
+            trims: 0,
+            fgc_request_stalls: 0,
+            fgc_flush_stalls: 0,
+            throttled_requests: 0,
+            timeline: Vec::new(),
+            config,
+        }
+    }
+
+    /// Runs the workload to exhaustion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FTL signals an unrecoverable condition (no
+    /// reclaimable space), which indicates a misconfigured experiment.
+    pub fn run(&mut self) -> SimReport {
+        if self.config.prefill {
+            self.prefill();
+        }
+        while let Some(req) = self.workload.next_request() {
+            // True closed loop: an application thread thinks for `gap`
+            // after its previous request completes, then issues the next
+            // one. Every stall therefore lengthens the run and lowers
+            // IOPS — exactly how the paper's benchmarks observe GC. With
+            // `queue_depth > 1`, several such threads share the stream
+            // round-robin and overlap at the device.
+            let thread = self.next_thread;
+            self.next_thread = (self.next_thread + 1) % self.thread_completion.len();
+            let issue = self.thread_completion[thread] + req.gap;
+            self.schedule = self.schedule.max(issue);
+            self.process_ticks_until(issue);
+            self.run_bgc_in_gap(issue);
+            let completion = self.execute(req, issue);
+            self.latencies.record(completion.saturating_since(issue));
+            self.thread_completion[thread] = completion;
+            self.ops += 1;
+        }
+        let end = self
+            .thread_completion
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .max(self.schedule);
+        self.build_report(end)
+    }
+
+    /// Ages the device: writes the whole working set once in scrambled
+    /// order (a Fisher–Yates permutation, modelling how a filesystem's
+    /// allocator sprays logical addresses over time), then resets every
+    /// counter so measurements cover only steady state. The fill itself is
+    /// free of simulated time — it stands for hours of prior use.
+    fn prefill(&mut self) {
+        let ws = self.workload.working_set_pages();
+        let mut lpns: Vec<u64> = (0..ws).collect();
+        let mut rng = jitgc_sim::SimRng::seed(0xA6ED);
+        for i in (1..lpns.len()).rev() {
+            let j = rng.range_u64(0, i as u64 + 1) as usize;
+            lpns.swap(i, j);
+        }
+        for lpn in lpns {
+            self.ftl
+                .host_write(jitgc_nand::Lpn(lpn), SimTime::ZERO)
+                .expect("prefill stays within user space");
+        }
+        self.ftl.reset_counters();
+        self.host_pages_at_tick = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic host work (flusher + predictors + policy)
+    // ------------------------------------------------------------------
+
+    fn process_ticks_until(&mut self, t: SimTime) {
+        while self.next_tick <= t {
+            let tick = self.next_tick;
+            self.run_bgc_in_gap(tick);
+            self.handle_tick(tick);
+            self.next_tick = tick + self.config.flusher_period;
+        }
+    }
+
+    fn handle_tick(&mut self, now: SimTime) {
+        // 1. Flusher thread: write back expired / pressured dirty pages.
+        let batch = self.cache.flusher_tick(now);
+        if !batch.lpns.is_empty() {
+            let mut flush_time = SimDuration::ZERO;
+            let mut stalled = false;
+            for lpn in &batch.lpns {
+                let out = self
+                    .ftl
+                    .host_write(*lpn, now)
+                    .expect("flush target within user space");
+                flush_time += out.duration;
+                stalled |= out.foreground_gc;
+            }
+            if stalled {
+                self.fgc_flush_stalls += 1;
+            }
+            let start = now.max(self.device_busy_until);
+            self.device_busy_until = start + flush_time;
+            let bytes = self.page_size() * batch.lpns.len() as u64;
+            self.policy.observe_write(bytes, flush_time);
+        }
+
+        // 2. Account the device traffic of the interval that just closed
+        //    (post-flush to post-flush) and score any prediction whose
+        //    full horizon has now elapsed. Predictions are scored over the
+        //    whole `N_wb`-interval horizon — that is the quantity the
+        //    reservation is sized from (`C_req`), so it is the error that
+        //    translates into mis-reservation.
+        let host_pages_now = self.ftl.stats().host_pages_written;
+        let actual_bytes = (host_pages_now - self.host_pages_at_tick) * self.page_size().as_u64();
+        self.host_pages_at_tick = host_pages_now;
+        self.interval_actuals.push(actual_bytes);
+        let nwb = self.config.nwb();
+        while let Some(&(made_at, predicted)) = self.pending_predictions.front() {
+            if self.interval_actuals.len() < made_at + nwb {
+                break;
+            }
+            let actual: u64 = self.interval_actuals[made_at..made_at + nwb].iter().sum();
+            self.accuracy.record(predicted, actual);
+            self.pending_predictions.pop_front();
+        }
+
+        // 3. Kernel-side predictors (paper Sec. 3.2).
+        self.direct_pred.observe_interval(self.direct_bytes_interval);
+        self.direct_bytes_interval = 0;
+        let (buffered_demand, sip) = self.buffered_pred.predict(&self.cache, now);
+        let direct_demand = self.direct_pred.predict();
+
+        // 4. Policy decision (paper Sec. 3.3).
+        let obs = IntervalObservation {
+            now,
+            free_capacity: self.ftl.free_capacity(),
+            op_capacity: self.ftl.op_capacity(),
+            buffered_demand: &buffered_demand,
+            direct_demand: &direct_demand,
+            device_bytes_last_interval: actual_bytes,
+        };
+        let decision = self.policy.on_interval(&obs);
+        // The paper's feasibility restriction: a reserve beyond what is
+        // physically reclaimable would make BGC erase fully-valid blocks
+        // for nothing ("useless BGC operations").
+        self.target_free = decision.target_free.min(self.ftl.reclaimable_capacity());
+        if let Some(predicted) = decision.predicted_next_interval {
+            self.pending_predictions
+                .push_back((self.interval_actuals.len(), predicted));
+        }
+
+        // 5. Ship the SIP list to the FTL. With the manager in the host
+        //    (the paper's actual implementation, Fig. 3(b)) each tick pays
+        //    the extended-interface cost: the paper measured ~160 µs per
+        //    SG_IO command, and JIT-GC exchanges demands, the SIP list,
+        //    C_free and the BGC command — four commands. The ideal
+        //    in-device manager (Fig. 3(a)) pays nothing.
+        if self.policy.uses_sip() {
+            self.ftl.set_sip_list(sip);
+            if self.config.manager_placement == crate::system::ManagerPlacement::Host {
+                self.device_busy_until = self.device_busy_until.max(now)
+                    + self.config.host_command_overhead.saturating_mul(4);
+            }
+        }
+
+        // 6. Optional timeline snapshot for time-series analysis.
+        if self.config.record_timeline {
+            let page = self.page_size().as_u64();
+            self.timeline.push(crate::system::IntervalSample {
+                t_secs: now.as_secs_f64(),
+                free_pages: self.ftl.free_pages(),
+                target_pages: self.target_free.as_u64() / page,
+                host_pages_interval: actual_bytes / page,
+                fgc_cumulative: self.ftl.stats().fgc_invocations,
+                bgc_blocks_cumulative: self.ftl.stats().bgc_blocks,
+                waf: self.ftl.waf().unwrap_or(1.0),
+            });
+        }
+
+        // 7. Optional static wear leveling (extension).
+        if self.config.wear_leveling {
+            let out = self.ftl.wear_level(now).expect("wear leveling");
+            if out.performed {
+                let start = now.max(self.device_busy_until);
+                self.device_busy_until = start + out.duration;
+            }
+        }
+    }
+
+    /// Lets background GC consume device idle time in `[busy_until, t)`,
+    /// reclaiming toward the policy's current target. Because the budget
+    /// ends at the next known event, BGC never delays host work — the
+    /// model of a perfectly preemptible collector.
+    fn run_bgc_in_gap(&mut self, t: SimTime) {
+        if self.device_busy_until >= t {
+            return;
+        }
+        let target_pages = self.target_free.as_u64() / self.page_size().as_u64();
+        if self.ftl.free_pages() >= target_pages {
+            return;
+        }
+        let gap_start = self.device_busy_until;
+        let budget = t.saturating_since(gap_start);
+        let outcome = self
+            .ftl
+            .background_collect(gap_start, budget, Some(target_pages));
+        if outcome.blocks_erased > 0 {
+            self.device_busy_until = gap_start + outcome.duration;
+            self.policy.observe_gc(
+                self.page_size() * outcome.pages_freed,
+                outcome.duration,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request execution
+    // ------------------------------------------------------------------
+
+    fn execute(&mut self, req: IoRequest, issue: SimTime) -> SimTime {
+        let mut host_time = SimDuration::ZERO;
+        let mut device_time = SimDuration::ZERO;
+        match req.kind {
+            IoKind::Read => {
+                self.reads += 1;
+                for lpn in req.lpns() {
+                    if self.cache.read(lpn, issue) {
+                        host_time += self.config.cache_op_time;
+                    } else {
+                        match self.ftl.host_read(lpn, issue) {
+                            Ok(out) => device_time += out.duration,
+                            Err(FtlError::LpnUnmapped { .. }) => {
+                                // Never-written data reads back as zeros
+                                // without touching the device.
+                                host_time += self.config.cache_op_time;
+                            }
+                            Err(e) => panic!("read failed: {e}"),
+                        }
+                    }
+                }
+            }
+            IoKind::BufferedWrite => {
+                self.buffered_writes += 1;
+                for lpn in req.lpns() {
+                    host_time += self.config.cache_op_time;
+                    let effect = self.cache.write(lpn, issue);
+                    for victim in effect.forced_writebacks {
+                        // The cache is saturated with dirty data: the
+                        // oldest page must hit the device before this
+                        // write can be absorbed.
+                        let out = self
+                            .ftl
+                            .host_write(victim, issue)
+                            .expect("cache holds user-space pages");
+                        device_time += out.duration;
+                        self.fgc_request_stalls += u64::from(out.foreground_gc);
+                    }
+                }
+                // Linux dirty throttling: past the hard dirty ratio this
+                // writer performs write-back itself — synchronously, GC
+                // stalls and all. This is how a slow flush path reaches
+                // the application.
+                let throttled = self.cache.throttle_excess();
+                if !throttled.is_empty() {
+                    self.throttled_requests += 1;
+                    let mut stalled = false;
+                    for lpn in throttled {
+                        let out = self
+                            .ftl
+                            .host_write(lpn, issue)
+                            .expect("cache holds user-space pages");
+                        device_time += out.duration;
+                        stalled |= out.foreground_gc;
+                    }
+                    self.fgc_request_stalls += u64::from(stalled);
+                }
+            }
+            IoKind::DirectWrite => {
+                self.direct_writes += 1;
+                let mut stalled = false;
+                for lpn in req.lpns() {
+                    let out = self
+                        .ftl
+                        .host_write(lpn, issue)
+                        .expect("workload stays within user space");
+                    device_time += out.duration;
+                    stalled |= out.foreground_gc;
+                    // A direct write supersedes any cached copy; drop it so
+                    // a stale flush cannot overwrite the new data.
+                    self.cache.invalidate(lpn);
+                }
+                self.fgc_request_stalls += u64::from(stalled);
+                let bytes = self.page_size() * u64::from(req.pages);
+                self.direct_bytes_interval += bytes.as_u64();
+                self.policy.observe_write(bytes, device_time);
+            }
+            IoKind::Trim => {
+                self.trims += 1;
+                for lpn in req.lpns() {
+                    self.ftl
+                        .trim(lpn, issue)
+                        .expect("workload stays within user space");
+                    host_time += self.config.cache_op_time;
+                }
+            }
+        }
+
+        if device_time.is_zero() {
+            issue + host_time
+        } else {
+            let start = issue.max(self.device_busy_until);
+            self.device_busy_until = start + device_time;
+            start + device_time + host_time
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn page_size(&self) -> ByteSize {
+        self.config.ftl.geometry().page_size()
+    }
+
+    fn build_report(&self, end: SimTime) -> SimReport {
+        let secs = end.as_secs_f64().max(f64::MIN_POSITIVE);
+        let lat = |q: f64| {
+            self.latencies
+                .percentile(q)
+                .map_or(0, |d| d.as_micros())
+        };
+        let stats = self.ftl.stats();
+        SimReport {
+            policy: self.policy.name().to_owned(),
+            workload: self.workload.name().to_owned(),
+            victim_policy: self.ftl.victim_policy().to_owned(),
+            duration_secs: secs,
+            ops: self.ops,
+            iops: self.ops as f64 / secs,
+            reads: self.reads,
+            buffered_writes: self.buffered_writes,
+            direct_writes: self.direct_writes,
+            trims: self.trims,
+            waf: self.ftl.waf().unwrap_or(1.0),
+            nand_erases: self.ftl.device().stats().erases,
+            wear: self.ftl.device().wear_report(),
+            fgc_request_stalls: self.fgc_request_stalls,
+            fgc_flush_stalls: self.fgc_flush_stalls,
+            throttled_requests: self.throttled_requests,
+            bgc_blocks: stats.bgc_blocks,
+            gc_pages_migrated: stats.gc_pages_migrated,
+            latency_mean_us: self.latencies.mean().map_or(0, |d| d.as_micros()),
+            latency_p50_us: lat(0.50),
+            latency_p99_us: lat(0.99),
+            latency_p999_us: lat(0.999),
+            latency_max_us: self.latencies.max().map_or(0, |d| d.as_micros()),
+            prediction_accuracy_percent: self.accuracy.mean_accuracy_percent(),
+            sip_filtered_fraction: stats.sip_filtered_fraction(),
+            cache_hit_ratio: self.cache.stats().hit_ratio(),
+            host_pages_written: stats.host_pages_written,
+            nand_pages_programmed: self.ftl.device().stats().programs,
+            timeline: self.timeline.clone(),
+        }
+    }
+
+    /// Read-only access to the FTL (for tests and examples).
+    #[must_use]
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Read-only access to the page cache (for tests and examples).
+    #[must_use]
+    pub fn cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    /// The installed policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AdpGc, JitGc, NoBgc, ReservedCapacity};
+    use jitgc_workload::{BenchmarkKind, WorkloadConfig};
+
+    fn run(policy: Box<dyn GcPolicy>, kind: BenchmarkKind, secs: u64, seed: u64) -> SimReport {
+        let config = SystemConfig::small_for_tests();
+        let wl_cfg = WorkloadConfig::builder()
+            .working_set_pages(config.ftl.user_pages() / 2)
+            .duration(SimDuration::from_secs(secs))
+            .mean_iops(1_500.0)
+            .seed(seed)
+            .build();
+        let workload = kind.build(wl_cfg);
+        SsdSystem::new(config, policy, workload).run()
+    }
+
+    fn adp(config: &SystemConfig) -> AdpGc {
+        let (bw, gc) = config.default_bandwidths();
+        AdpGc::new(
+            config.flusher_period,
+            config.tau_expire(),
+            config.cdh_percentile,
+            config.cdh_bin_bytes,
+            bw,
+            gc,
+        )
+    }
+
+    #[test]
+    fn runs_to_completion_and_reports() {
+        let report = run(Box::new(NoBgc), BenchmarkKind::Ycsb, 30, 1);
+        assert!(report.ops > 10_000, "ops {}", report.ops);
+        assert!(report.iops > 0.0);
+        assert!(report.waf >= 1.0);
+        assert!(report.duration_secs >= 29.0);
+        assert_eq!(report.policy, "No-BGC");
+        assert_eq!(report.workload, "YCSB");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = SystemConfig::small_for_tests();
+        let a = run(
+            Box::new(JitGc::from_system_config(&cfg)),
+            BenchmarkKind::Postmark,
+            20,
+            3,
+        );
+        let b = run(
+            Box::new(JitGc::from_system_config(&cfg)),
+            BenchmarkKind::Postmark,
+            20,
+            3,
+        );
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.waf, b.waf);
+        assert_eq!(a.nand_erases, b.nand_erases);
+        assert_eq!(a.latency_p99_us, b.latency_p99_us);
+    }
+
+    #[test]
+    fn aggressive_policy_reduces_fgc_stalls() {
+        let cfg = SystemConfig::small_for_tests();
+        let lazy = run(
+            Box::new(ReservedCapacity::lazy(cfg.op_capacity())),
+            BenchmarkKind::Ycsb,
+            60,
+            5,
+        );
+        let aggressive = run(
+            Box::new(ReservedCapacity::aggressive(cfg.op_capacity())),
+            BenchmarkKind::Ycsb,
+            60,
+            5,
+        );
+        let lazy_stalls = lazy.fgc_request_stalls + lazy.fgc_flush_stalls;
+        let agg_stalls = aggressive.fgc_request_stalls + aggressive.fgc_flush_stalls;
+        assert!(
+            agg_stalls <= lazy_stalls,
+            "aggressive {agg_stalls} vs lazy {lazy_stalls}"
+        );
+        assert!(aggressive.iops >= lazy.iops * 0.95);
+    }
+
+    #[test]
+    fn jit_reports_prediction_accuracy_and_sip() {
+        let cfg = SystemConfig::small_for_tests();
+        let report = run(
+            Box::new(JitGc::from_system_config(&cfg)),
+            BenchmarkKind::Ycsb,
+            60,
+            7,
+        );
+        let acc = report
+            .prediction_accuracy_percent
+            .expect("JIT-GC predicts every interval");
+        assert!(acc > 15.0, "accuracy {acc}");
+        assert!(report.bgc_blocks > 0, "JIT-GC should reclaim in background");
+    }
+
+    #[test]
+    fn adp_reports_prediction_accuracy() {
+        let cfg = SystemConfig::small_for_tests();
+        let report = run(Box::new(adp(&cfg)), BenchmarkKind::Ycsb, 60, 7);
+        assert!(report.prediction_accuracy_percent.is_some());
+        assert!(report.sip_filtered_fraction.is_none(), "ADP has no SIP");
+    }
+
+    #[test]
+    fn reserved_policies_do_not_predict() {
+        let cfg = SystemConfig::small_for_tests();
+        let report = run(
+            Box::new(ReservedCapacity::lazy(cfg.op_capacity())),
+            BenchmarkKind::Filebench,
+            30,
+            2,
+        );
+        assert_eq!(report.prediction_accuracy_percent, None);
+    }
+
+    #[test]
+    fn request_counts_add_up() {
+        let report = run(Box::new(NoBgc), BenchmarkKind::Postmark, 20, 9);
+        assert_eq!(
+            report.ops,
+            report.reads + report.buffered_writes + report.direct_writes + report.trims
+        );
+    }
+
+    #[test]
+    fn trims_flow_through_to_the_ftl() {
+        // Postmark deletes files; the trims must reach the FTL and release
+        // mapped space.
+        let report = run(Box::new(NoBgc), BenchmarkKind::Postmark, 20, 4);
+        assert!(report.trims > 0, "postmark emitted no trims");
+    }
+
+    #[test]
+    fn unmapped_reads_are_served_as_zero_fill() {
+        // Without prefill, early reads hit never-written pages; the engine
+        // must serve them without device time and without panicking.
+        let report = run(Box::new(NoBgc), BenchmarkKind::Filebench, 10, 6);
+        assert!(report.reads > 0);
+        assert!(report.ops > 1_000);
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let config = SystemConfig::small_for_tests();
+        let wl_cfg = jitgc_workload::WorkloadConfig::builder()
+            .working_set_pages(config.ftl.user_pages() / 2)
+            .duration(SimDuration::from_secs(2))
+            .build();
+        let system = SsdSystem::new(
+            config.clone(),
+            Box::new(NoBgc),
+            BenchmarkKind::Ycsb.build(wl_cfg),
+        );
+        assert_eq!(system.policy_name(), "No-BGC");
+        assert_eq!(system.ftl().config().user_pages(), config.ftl.user_pages());
+        assert!(system.cache().is_empty());
+    }
+
+    #[test]
+    fn prefill_maps_whole_working_set_before_measurement() {
+        let mut config = SystemConfig::small_for_tests();
+        config.prefill = true;
+        let ws = config.ftl.user_pages() / 2;
+        let wl_cfg = jitgc_workload::WorkloadConfig::builder()
+            .working_set_pages(ws)
+            .duration(SimDuration::from_secs(2))
+            .build();
+        let mut system = SsdSystem::new(
+            config,
+            Box::new(NoBgc),
+            BenchmarkKind::TpcC.build(wl_cfg),
+        );
+        let report = system.run();
+        // Counters were reset after the fill: host writes reflect only the
+        // measured phase, yet the device holds at least the working set.
+        assert!(report.host_pages_written < ws + report.ops * 4);
+        assert!(system.ftl().device().total_valid_pages() >= ws);
+    }
+
+    #[test]
+    fn timeline_recording_captures_every_interval() {
+        let mut config = SystemConfig::small_for_tests();
+        config.record_timeline = true;
+        let wl_cfg = jitgc_workload::WorkloadConfig::builder()
+            .working_set_pages(config.ftl.user_pages() / 2)
+            .duration(SimDuration::from_secs(20))
+            .mean_iops(800.0)
+            .seed(3)
+            .build();
+        let report = SsdSystem::new(
+            config.clone(),
+            Box::new(NoBgc),
+            BenchmarkKind::Ycsb.build(wl_cfg),
+        )
+        .run();
+        // One sample per flusher period over the run (±1 at the edges).
+        let expected = report.duration_secs / config.flusher_period.as_secs_f64();
+        assert!(
+            (report.timeline.len() as f64 - expected).abs() <= 2.0,
+            "{} samples for {expected:.1} intervals",
+            report.timeline.len()
+        );
+        // Time strictly increases and WAF is sane everywhere.
+        for pair in report.timeline.windows(2) {
+            assert!(pair[0].t_secs < pair[1].t_secs);
+        }
+        assert!(report.timeline.iter().all(|s| s.waf >= 1.0));
+    }
+
+    #[test]
+    fn timeline_off_by_default() {
+        let report = run(Box::new(NoBgc), BenchmarkKind::Ycsb, 5, 3);
+        assert!(report.timeline.is_empty());
+    }
+
+    #[test]
+    fn system_config_serde_round_trips() {
+        let config = SystemConfig::default_sim();
+        let json = serde_json::to_string(&config).expect("serialize");
+        let back: SystemConfig = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.ftl.user_pages(), config.ftl.user_pages());
+        assert_eq!(back.flusher_period, config.flusher_period);
+        assert_eq!(back.victim, config.victim);
+        assert_eq!(back.queue_depth, config.queue_depth);
+        assert_eq!(back.prefill, config.prefill);
+    }
+
+    #[test]
+    fn report_duration_covers_the_run() {
+        let report = run(Box::new(NoBgc), BenchmarkKind::Bonnie, 12, 8);
+        assert!(report.duration_secs >= 11.0, "{}", report.duration_secs);
+        // Closed loop: stalls can stretch but never shrink the schedule.
+        assert!(report.duration_secs < 60.0);
+    }
+
+    #[test]
+    fn all_benchmarks_run_under_jit() {
+        let cfg = SystemConfig::small_for_tests();
+        for kind in BenchmarkKind::all() {
+            let report = run(
+                Box::new(JitGc::from_system_config(&cfg)),
+                kind,
+                15,
+                11,
+            );
+            assert!(report.ops > 1_000, "{kind}: ops {}", report.ops);
+            assert!(report.waf >= 1.0, "{kind}: waf {}", report.waf);
+        }
+    }
+}

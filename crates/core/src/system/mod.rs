@@ -1,0 +1,21 @@
+//! The full-system simulation engine.
+//!
+//! Wires the substrate together — workload → page cache → FTL → NAND —
+//! with the paper's host/device split: every flusher period `p` the engine
+//! (acting as the host kernel) runs the flusher, the two predictors, and
+//! the installed [`GcPolicy`](crate::policy::GcPolicy), then lets
+//! background GC reclaim toward the policy's target **during device idle
+//! time only**.
+//!
+//! The request loop is a paced closed loop: each request is issued at the
+//! later of its think-time schedule and the previous request's completion,
+//! so foreground-GC stalls propagate into IOPS exactly as on a real
+//! system.
+
+mod config;
+mod engine;
+mod report;
+
+pub use config::{ManagerPlacement, SystemConfig, VictimKind};
+pub use engine::SsdSystem;
+pub use report::{IntervalSample, SimReport};

@@ -1,0 +1,187 @@
+//! The per-run result record.
+
+use jitgc_nand::WearReport;
+use serde::{Deserialize, Serialize};
+
+/// One write-back interval's snapshot, recorded when
+/// [`SystemConfig::record_timeline`](crate::system::SystemConfig) is set —
+/// the raw material for time-series plots of free space, reserve targets
+/// and GC activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSample {
+    /// Interval start, seconds of simulated time.
+    pub t_secs: f64,
+    /// Device free pages at the interval start (after the flush).
+    pub free_pages: u64,
+    /// The policy's reserve target in pages.
+    pub target_pages: u64,
+    /// Host pages written during the interval that just closed.
+    pub host_pages_interval: u64,
+    /// Cumulative foreground-GC episodes so far.
+    pub fgc_cumulative: u64,
+    /// Cumulative background-GC blocks so far.
+    pub bgc_blocks_cumulative: u64,
+    /// Running Write Amplification Factor.
+    pub waf: f64,
+}
+
+/// Everything one simulation run measured — the raw material for every
+/// table and figure in the paper's evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy display name ("L-BGC", "A-BGC", "ADP-GC", "JIT-GC", …).
+    pub policy: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Victim-selection policy name.
+    pub victim_policy: String,
+    /// Simulated run length in seconds.
+    pub duration_secs: f64,
+
+    /// Completed host requests.
+    pub ops: u64,
+    /// Requests per simulated second — the paper's Fig. 2(a)/7(a) metric.
+    pub iops: f64,
+    /// Read / buffered-write / direct-write / trim request counts.
+    pub reads: u64,
+    /// Buffered-write requests.
+    pub buffered_writes: u64,
+    /// Direct-write requests.
+    pub direct_writes: u64,
+    /// TRIM requests.
+    pub trims: u64,
+
+    /// Write Amplification Factor — the paper's Fig. 2(b)/7(b) metric.
+    pub waf: f64,
+    /// Total NAND block erases (lifetime consumed).
+    pub nand_erases: u64,
+    /// Wear distribution across blocks.
+    pub wear: WearReport,
+
+    /// Host requests that stalled on foreground GC.
+    pub fgc_request_stalls: u64,
+    /// Foreground-GC episodes triggered by flusher write-back.
+    pub fgc_flush_stalls: u64,
+    /// Buffered-write requests stalled by Linux dirty throttling
+    /// (the writer had to perform write-back synchronously).
+    pub throttled_requests: u64,
+    /// Blocks reclaimed by background GC.
+    pub bgc_blocks: u64,
+    /// Pages migrated by GC (foreground + background).
+    pub gc_pages_migrated: u64,
+
+    /// Mean request latency in microseconds.
+    pub latency_mean_us: u64,
+    /// Median request latency in microseconds.
+    pub latency_p50_us: u64,
+    /// 99th-percentile request latency in microseconds.
+    pub latency_p99_us: u64,
+    /// 99.9th-percentile request latency in microseconds.
+    pub latency_p999_us: u64,
+    /// Worst request latency in microseconds.
+    pub latency_max_us: u64,
+
+    /// Mean prediction accuracy in percent (paper Table 2), if the policy
+    /// predicts.
+    pub prediction_accuracy_percent: Option<f64>,
+    /// Fraction of BGC victim selections redirected by SIP filtering
+    /// (paper Table 3), if a SIP list was ever installed.
+    pub sip_filtered_fraction: Option<f64>,
+
+    /// Page-cache read hit ratio.
+    pub cache_hit_ratio: Option<f64>,
+    /// Pages written to the device by the host (flushes + direct +
+    /// forced writebacks).
+    pub host_pages_written: u64,
+    /// Pages the device programmed in total (host + GC migrations).
+    pub nand_pages_programmed: u64,
+    /// Per-interval snapshots (empty unless timeline recording was on).
+    #[serde(default)]
+    pub timeline: Vec<IntervalSample>,
+}
+
+impl SimReport {
+    /// `IOPS(self) / IOPS(baseline)` — the normalization the paper applies
+    /// (all its plots normalize to A-BGC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline measured zero IOPS.
+    #[must_use]
+    pub fn normalized_iops(&self, baseline: &SimReport) -> f64 {
+        assert!(baseline.iops > 0.0, "baseline has zero IOPS");
+        self.iops / baseline.iops
+    }
+
+    /// `WAF(self) / WAF(baseline)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline measured zero WAF.
+    #[must_use]
+    pub fn normalized_waf(&self, baseline: &SimReport) -> f64 {
+        assert!(baseline.waf > 0.0, "baseline has zero WAF");
+        self.waf / baseline.waf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(iops: f64, waf: f64) -> SimReport {
+        SimReport {
+            policy: "X".into(),
+            workload: "W".into(),
+            victim_policy: "greedy".into(),
+            duration_secs: 1.0,
+            ops: 1,
+            iops,
+            reads: 0,
+            buffered_writes: 0,
+            direct_writes: 0,
+            trims: 0,
+            waf,
+            nand_erases: 0,
+            wear: WearReport::from_counts([0]),
+            fgc_request_stalls: 0,
+            fgc_flush_stalls: 0,
+            throttled_requests: 0,
+            bgc_blocks: 0,
+            gc_pages_migrated: 0,
+            latency_mean_us: 0,
+            latency_p50_us: 0,
+            latency_p99_us: 0,
+            latency_p999_us: 0,
+            latency_max_us: 0,
+            prediction_accuracy_percent: None,
+            sip_filtered_fraction: None,
+            cache_hit_ratio: None,
+            host_pages_written: 0,
+            nand_pages_programmed: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let a = dummy(100.0, 2.0);
+        let b = dummy(200.0, 4.0);
+        assert_eq!(a.normalized_iops(&b), 0.5);
+        assert_eq!(b.normalized_waf(&a), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero IOPS")]
+    fn zero_baseline_panics() {
+        let a = dummy(100.0, 2.0);
+        let z = dummy(0.0, 2.0);
+        let _ = a.normalized_iops(&z);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let json = serde_json::to_string(&dummy(1.0, 1.0)).expect("serialize");
+        assert!(json.contains("\"iops\""));
+    }
+}

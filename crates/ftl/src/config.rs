@@ -1,0 +1,373 @@
+//! FTL configuration.
+
+use jitgc_nand::{Geometry, NandTiming};
+use jitgc_sim::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of an [`Ftl`](crate::Ftl).
+///
+/// The physical geometry is **derived**: the device gets enough blocks to
+/// hold `user_pages` of logical space plus `op_permille`/1000 of
+/// over-provisioning plus `gc_reserve_blocks` the GC engine needs as
+/// scratch space for migrations.
+///
+/// # Example
+///
+/// ```
+/// use jitgc_ftl::FtlConfig;
+///
+/// let config = FtlConfig::builder()
+///     .user_pages(10_000)
+///     .op_permille(70)          // 7 % OP, like the paper's SM843T
+///     .pages_per_block(128)
+///     .page_size_bytes(4096)
+///     .build();
+/// assert_eq!(config.user_pages(), 10_000);
+/// assert!(config.op_pages() >= 700);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FtlConfig {
+    user_pages: u64,
+    op_permille: u64,
+    gc_reserve_blocks: u32,
+    sip_filter_threshold_permille: u64,
+    wear_level_threshold: u64,
+    hot_cold_streams: bool,
+    hot_window: SimDuration,
+    endurance_limit: Option<u64>,
+    geometry: Geometry,
+    timing: NandTiming,
+}
+
+impl FtlConfig {
+    /// Starts building a configuration. See [`FtlConfigBuilder`].
+    #[must_use]
+    pub fn builder() -> FtlConfigBuilder {
+        FtlConfigBuilder::default()
+    }
+
+    /// Number of host-visible logical pages.
+    #[must_use]
+    pub fn user_pages(&self) -> u64 {
+        self.user_pages
+    }
+
+    /// Host-visible capacity in bytes.
+    #[must_use]
+    pub fn user_capacity(&self) -> ByteSize {
+        self.geometry.page_size() * self.user_pages
+    }
+
+    /// Over-provisioning ratio in permille (70 = 7 %).
+    #[must_use]
+    pub fn op_permille(&self) -> u64 {
+        self.op_permille
+    }
+
+    /// Number of over-provisioning pages (`C_OP` in pages).
+    #[must_use]
+    pub fn op_pages(&self) -> u64 {
+        self.user_pages * self.op_permille / 1000
+    }
+
+    /// Over-provisioning capacity in bytes (`C_OP`).
+    #[must_use]
+    pub fn op_capacity(&self) -> ByteSize {
+        self.geometry.page_size() * self.op_pages()
+    }
+
+    /// Blocks the GC engine keeps for itself as migration scratch space.
+    #[must_use]
+    pub fn gc_reserve_blocks(&self) -> u32 {
+        self.gc_reserve_blocks
+    }
+
+    /// SIP filter threshold in permille of a block's valid pages: a BGC
+    /// victim candidate whose soon-to-be-invalidated fraction exceeds this
+    /// is avoided. Default 250 (25 %): cold blocks carry almost no dirty
+    /// overlap while hot, recently-written blocks carry a lot, so
+    /// half of the valid pages separates the two populations.
+    #[must_use]
+    pub fn sip_filter_threshold_permille(&self) -> u64 {
+        self.sip_filter_threshold_permille
+    }
+
+    /// Erase-count spread (max − min) that triggers static wear leveling.
+    #[must_use]
+    pub fn wear_level_threshold(&self) -> u64 {
+        self.wear_level_threshold
+    }
+
+    /// `true` when host writes are split into hot and cold streams
+    /// (separate active blocks), so frequently-updated pages do not share
+    /// blocks with cold data — an FTL-side complement to SIP filtering
+    /// that reduces the valid data GC must migrate.
+    #[must_use]
+    pub fn hot_cold_streams(&self) -> bool {
+        self.hot_cold_streams
+    }
+
+    /// A page rewritten within this window of its previous write counts as
+    /// hot (only meaningful with [`hot_cold_streams`](Self::hot_cold_streams)).
+    #[must_use]
+    pub fn hot_window(&self) -> SimDuration {
+        self.hot_window
+    }
+
+    /// Program/erase endurance limit per block, if device end-of-life is
+    /// modeled (`None` = unlimited; 3 000 cycles is typical 20 nm MLC).
+    #[must_use]
+    pub fn endurance_limit(&self) -> Option<u64> {
+        self.endurance_limit
+    }
+
+    /// The derived physical geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The NAND timing model.
+    #[must_use]
+    pub fn timing(&self) -> &NandTiming {
+        &self.timing
+    }
+}
+
+/// Builder for [`FtlConfig`].
+///
+/// Defaults: 8 192 user pages, 7 % OP, 128 pages/block, 4 KiB pages,
+/// 2 GC-reserve blocks, [`NandTiming::mlc_20nm`], SIP threshold 10 %,
+/// wear-level threshold 64.
+#[derive(Debug, Clone)]
+pub struct FtlConfigBuilder {
+    user_pages: u64,
+    user_pages_is_bytes: bool,
+    op_permille: u64,
+    pages_per_block: u32,
+    page_size_bytes: u64,
+    gc_reserve_blocks: u32,
+    sip_filter_threshold_permille: u64,
+    wear_level_threshold: u64,
+    hot_cold_streams: bool,
+    hot_window: SimDuration,
+    endurance_limit: Option<u64>,
+    timing: NandTiming,
+}
+
+impl Default for FtlConfigBuilder {
+    fn default() -> Self {
+        FtlConfigBuilder {
+            user_pages: 8_192,
+            user_pages_is_bytes: false,
+            op_permille: 70,
+            pages_per_block: 128,
+            page_size_bytes: 4_096,
+            gc_reserve_blocks: 2,
+            sip_filter_threshold_permille: 250,
+            wear_level_threshold: 64,
+            hot_cold_streams: false,
+            hot_window: SimDuration::from_secs(5),
+            endurance_limit: None,
+            timing: NandTiming::mlc_20nm(),
+        }
+    }
+}
+
+impl FtlConfigBuilder {
+    /// Sets the logical (host-visible) page count.
+    #[must_use]
+    pub fn user_pages(mut self, pages: u64) -> Self {
+        self.user_pages = pages;
+        self.user_pages_is_bytes = false;
+        self
+    }
+
+    /// Sets the host-visible capacity in bytes (converted to pages with the
+    /// configured page size at [`build`](Self::build) time).
+    #[must_use]
+    pub fn user_capacity(mut self, capacity: ByteSize) -> Self {
+        self.user_pages = capacity.as_u64();
+        self.user_pages_is_bytes = true;
+        self
+    }
+
+    /// Sets the over-provisioning ratio in permille (70 = 7 %).
+    #[must_use]
+    pub fn op_permille(mut self, permille: u64) -> Self {
+        self.op_permille = permille;
+        self
+    }
+
+    /// Sets pages per erase block.
+    #[must_use]
+    pub fn pages_per_block(mut self, pages: u32) -> Self {
+        self.pages_per_block = pages;
+        self
+    }
+
+    /// Sets the page size in bytes.
+    #[must_use]
+    pub fn page_size_bytes(mut self, bytes: u64) -> Self {
+        self.page_size_bytes = bytes;
+        self
+    }
+
+    /// Sets the GC scratch reserve in blocks (minimum 1).
+    #[must_use]
+    pub fn gc_reserve_blocks(mut self, blocks: u32) -> Self {
+        self.gc_reserve_blocks = blocks;
+        self
+    }
+
+    /// Sets the SIP filter threshold in permille of valid pages.
+    #[must_use]
+    pub fn sip_filter_threshold_permille(mut self, permille: u64) -> Self {
+        self.sip_filter_threshold_permille = permille;
+        self
+    }
+
+    /// Sets the erase-count spread that triggers static wear leveling.
+    #[must_use]
+    pub fn wear_level_threshold(mut self, threshold: u64) -> Self {
+        self.wear_level_threshold = threshold;
+        self
+    }
+
+    /// Enables hot/cold stream separation with the given hot window.
+    #[must_use]
+    pub fn hot_cold_streams(mut self, window: SimDuration) -> Self {
+        self.hot_cold_streams = true;
+        self.hot_window = window;
+        self
+    }
+
+    /// Models device end-of-life: blocks fail after `cycles` erases, and
+    /// the failure surfaces as [`FtlError::Nand`](crate::FtlError::Nand)
+    /// with [`NandError::BlockWornOut`](jitgc_nand::NandError::BlockWornOut).
+    #[must_use]
+    pub fn endurance_limit(mut self, cycles: u64) -> Self {
+        self.endurance_limit = Some(cycles);
+        self
+    }
+
+    /// Sets the NAND timing model.
+    #[must_use]
+    pub fn timing(mut self, timing: NandTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Finalizes the configuration, deriving the physical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if user pages, pages per block, page size, or the GC reserve
+    /// is zero.
+    #[must_use]
+    pub fn build(self) -> FtlConfig {
+        assert!(self.pages_per_block > 0, "pages per block must be non-zero");
+        assert!(self.page_size_bytes > 0, "page size must be non-zero");
+        assert!(
+            self.gc_reserve_blocks >= 1,
+            "gc reserve must be at least one block"
+        );
+        let user_pages = if self.user_pages_is_bytes {
+            self.user_pages.div_ceil(self.page_size_bytes)
+        } else {
+            self.user_pages
+        };
+        assert!(user_pages > 0, "user capacity must be non-zero");
+        let op_pages = user_pages * self.op_permille / 1000;
+        let data_blocks = (user_pages + op_pages).div_ceil(u64::from(self.pages_per_block));
+        let blocks = u32::try_from(data_blocks).expect("block count fits u32")
+            + self.gc_reserve_blocks;
+        let geometry = Geometry::builder()
+            .blocks(blocks)
+            .pages_per_block(self.pages_per_block)
+            .page_size_bytes(self.page_size_bytes)
+            .build();
+        FtlConfig {
+            user_pages,
+            hot_cold_streams: self.hot_cold_streams,
+            hot_window: self.hot_window,
+            endurance_limit: self.endurance_limit,
+            op_permille: self.op_permille,
+            gc_reserve_blocks: self.gc_reserve_blocks,
+            sip_filter_threshold_permille: self.sip_filter_threshold_permille,
+            wear_level_threshold: self.wear_level_threshold,
+            geometry,
+            timing: self.timing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_geometry_with_op_and_reserve() {
+        let c = FtlConfig::builder()
+            .user_pages(1_000)
+            .op_permille(70)
+            .pages_per_block(100)
+            .gc_reserve_blocks(2)
+            .build();
+        // 1000 user + 70 OP pages = 1070 → 11 data blocks + 2 reserve.
+        assert_eq!(c.geometry().blocks(), 13);
+        assert_eq!(c.op_pages(), 70);
+    }
+
+    #[test]
+    fn user_capacity_in_bytes() {
+        let c = FtlConfig::builder()
+            .user_pages(1_000)
+            .page_size_bytes(4_096)
+            .build();
+        assert_eq!(c.user_capacity(), ByteSize::bytes(4_096_000));
+    }
+
+    #[test]
+    fn capacity_builder_converts_to_pages() {
+        let c = FtlConfig::builder()
+            .user_capacity(ByteSize::mib(4))
+            .page_size_bytes(4_096)
+            .build();
+        assert_eq!(c.user_pages(), 1_024);
+    }
+
+    #[test]
+    fn op_capacity_scales_with_permille() {
+        let a = FtlConfig::builder()
+            .user_pages(10_000)
+            .op_permille(70)
+            .build();
+        let b = FtlConfig::builder()
+            .user_pages(10_000)
+            .op_permille(140)
+            .build();
+        assert_eq!(b.op_pages(), 2 * a.op_pages());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = FtlConfig::builder().build();
+        assert_eq!(c.user_pages(), 8_192);
+        assert_eq!(c.op_permille(), 70);
+        assert_eq!(c.gc_reserve_blocks(), 2);
+        assert!(c.geometry().total_pages() > c.user_pages() + c.op_pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "gc reserve must be at least one block")]
+    fn zero_reserve_panics() {
+        let _ = FtlConfig::builder().gc_reserve_blocks(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "user capacity must be non-zero")]
+    fn zero_user_pages_panics() {
+        let _ = FtlConfig::builder().user_pages(0).build();
+    }
+}

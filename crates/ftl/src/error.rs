@@ -1,0 +1,94 @@
+//! Error type for FTL operations.
+
+use jitgc_nand::{Lpn, NandError};
+use std::error::Error;
+use std::fmt;
+
+/// An FTL operation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// The logical page is outside the host-visible address space.
+    LpnOutOfRange {
+        /// The offending logical page.
+        lpn: Lpn,
+        /// Size of the logical space.
+        user_pages: u64,
+    },
+    /// The logical page has never been written (read of an unmapped LPN).
+    LpnUnmapped {
+        /// The offending logical page.
+        lpn: Lpn,
+    },
+    /// Garbage collection cannot free any space: every reclaimable block is
+    /// fully valid. With correctly sized over-provisioning this is
+    /// unreachable; it indicates a misconfiguration (OP ≈ 0) or an FTL bug.
+    NoReclaimableSpace,
+    /// The underlying NAND device rejected an operation — always an FTL
+    /// bug surfaced loudly rather than swallowed.
+    Nand(NandError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::LpnOutOfRange { lpn, user_pages } => {
+                write!(f, "logical page {lpn} outside user space of {user_pages} pages")
+            }
+            FtlError::LpnUnmapped { lpn } => write!(f, "logical page {lpn} has never been written"),
+            FtlError::NoReclaimableSpace => {
+                write!(f, "garbage collection found no reclaimable block")
+            }
+            FtlError::Nand(e) => write!(f, "nand device error: {e}"),
+        }
+    }
+}
+
+impl Error for FtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FtlError::Nand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NandError> for FtlError {
+    fn from(e: NandError) -> Self {
+        FtlError::Nand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitgc_nand::Ppn;
+
+    #[test]
+    fn display_variants() {
+        assert!(FtlError::LpnOutOfRange {
+            lpn: Lpn(9),
+            user_pages: 4
+        }
+        .to_string()
+        .contains("L9"));
+        assert!(FtlError::LpnUnmapped { lpn: Lpn(3) }
+            .to_string()
+            .contains("never been written"));
+        assert!(FtlError::NoReclaimableSpace
+            .to_string()
+            .contains("no reclaimable"));
+    }
+
+    #[test]
+    fn nand_error_wraps_with_source() {
+        let e = FtlError::from(NandError::ReadUnwrittenPage { ppn: Ppn(1) });
+        assert!(e.to_string().contains("nand device error"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<FtlError>();
+    }
+}

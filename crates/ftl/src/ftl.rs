@@ -1,0 +1,1114 @@
+//! The page-mapping FTL proper.
+
+use crate::{BlockInfo, FtlConfig, FtlError, FtlStats, SipList, VictimSelector};
+use jitgc_nand::{BlockId, Lpn, NandDevice, Ppn};
+use jitgc_sim::{ByteSize, SimDuration, SimTime};
+
+/// Result of one host page write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteOutcome {
+    /// Total device time charged to this write, *including* any foreground
+    /// GC it had to wait for.
+    pub duration: SimDuration,
+    /// `true` when the write triggered foreground GC — the stall the
+    /// paper's background policies try to avoid.
+    pub foreground_gc: bool,
+    /// Pages migrated by the foreground GC episode (0 without FGC).
+    pub migrated_pages: u64,
+    /// Blocks erased by the foreground GC episode (0 without FGC).
+    pub erased_blocks: u64,
+}
+
+/// Result of one host page read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Device time consumed.
+    pub duration: SimDuration,
+}
+
+/// Result of one background-GC invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BgcOutcome {
+    /// Device time consumed (the caller hides this in idle periods).
+    pub duration: SimDuration,
+    /// Blocks erased.
+    pub blocks_erased: u64,
+    /// Valid pages migrated to keep them alive.
+    pub pages_migrated: u64,
+    /// Free pages gained.
+    pub pages_freed: u64,
+}
+
+/// Result of one static wear-leveling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WearLevelOutcome {
+    /// Device time consumed.
+    pub duration: SimDuration,
+    /// `true` when the pass actually moved data.
+    pub performed: bool,
+    /// Pages relocated.
+    pub moved_pages: u64,
+}
+
+/// A page-mapping flash translation layer.
+///
+/// See the [crate documentation](crate) for the role it plays in the JIT-GC
+/// reproduction. All operations take the current simulated time `now`
+/// (the FTL holds no clock of its own) and return the device time they
+/// consumed; the caller owns the device timeline.
+#[derive(Debug)]
+pub struct Ftl {
+    config: FtlConfig,
+    device: NandDevice,
+    mapping: Vec<Option<Ppn>>,
+    free_blocks: Vec<BlockId>,
+    is_free: Vec<bool>,
+    active_user: Option<BlockId>,
+    /// Second user stream for hot pages when hot/cold separation is on.
+    active_hot: Option<BlockId>,
+    active_gc: Option<BlockId>,
+    /// A background-GC victim collected partially; resumed on the next
+    /// BGC call (or finished by foreground GC).
+    gc_in_progress: Option<BlockId>,
+    /// Per-LPN last write time (allocated only with hot/cold streams).
+    lpn_last_write: Option<Vec<SimTime>>,
+    /// Blocks retired as bad after exceeding the endurance limit; they
+    /// hold no data and are never allocated or selected again.
+    is_retired: Vec<bool>,
+    last_write: Vec<SimTime>,
+    sip: SipList,
+    sip_counts: Vec<u32>,
+    sip_filter_enabled: bool,
+    selector: Box<dyn VictimSelector>,
+    stats: FtlStats,
+}
+
+impl Ftl {
+    /// Creates an FTL over a fresh (fully erased) device.
+    #[must_use]
+    pub fn new(config: FtlConfig, selector: Box<dyn VictimSelector>) -> Self {
+        let mut device = NandDevice::new(*config.geometry(), *config.timing());
+        if let Some(limit) = config.endurance_limit() {
+            device = device.with_endurance_limit(limit);
+        }
+        let blocks = config.geometry().blocks();
+        Ftl {
+            mapping: vec![None; config.user_pages() as usize],
+            free_blocks: config.geometry().block_ids().collect(),
+            is_free: vec![true; blocks as usize],
+            active_user: None,
+            active_hot: None,
+            active_gc: None,
+            gc_in_progress: None,
+            lpn_last_write: config
+                .hot_cold_streams()
+                .then(|| vec![SimTime::ZERO; config.user_pages() as usize]),
+            is_retired: vec![false; blocks as usize],
+            last_write: vec![SimTime::ZERO; blocks as usize],
+            sip: SipList::new(),
+            sip_counts: vec![0; blocks as usize],
+            sip_filter_enabled: true,
+            selector,
+            stats: FtlStats::default(),
+            device,
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host operations
+    // ------------------------------------------------------------------
+
+    /// Writes one logical page out-of-place, running foreground GC first if
+    /// the free-block pool is at its floor.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] for an address beyond the user space;
+    /// [`FtlError::NoReclaimableSpace`] if foreground GC cannot free any
+    /// block (only possible with pathological over-provisioning).
+    pub fn host_write(&mut self, lpn: Lpn, now: SimTime) -> Result<WriteOutcome, FtlError> {
+        self.check_lpn(lpn)?;
+        let mut outcome = WriteOutcome::default();
+
+        // Make sure a page is available, reclaiming in the foreground if
+        // the pool has fallen to the GC scratch reserve.
+        let hot = self.classify_hot(lpn, now);
+        if self.needs_active_block(hot) && self.pool_is_at_floor() {
+            let fgc = self.foreground_collect(now)?;
+            outcome.foreground_gc = true;
+            outcome.migrated_pages = fgc.pages_migrated;
+            outcome.erased_blocks = fgc.blocks_erased;
+            outcome.duration += fgc.duration;
+            self.stats.fgc_invocations += 1;
+            self.stats.fgc_blocks += fgc.blocks_erased;
+            self.stats.fgc_time += fgc.duration;
+        }
+        let active = self.ensure_active_block(hot)?;
+
+        // Out-of-place update: retire the previous copy.
+        if let Some(old) = self.mapping[lpn.0 as usize] {
+            self.device.invalidate(old)?;
+            if self.sip.remove(lpn) {
+                let b = self.device.geometry().block_of(old);
+                self.sip_counts[b.0 as usize] = self.sip_counts[b.0 as usize].saturating_sub(1);
+            }
+        } else {
+            // Never-written LPNs can still sit on a stale SIP list.
+            self.sip.remove(lpn);
+        }
+
+        let offset = self
+            .device
+            .block(active)
+            .next_free_offset()
+            .expect("active block has space by construction");
+        let ppn = self.device.geometry().ppn(active, offset);
+        outcome.duration += self.device.program(ppn, lpn)?;
+        self.mapping[lpn.0 as usize] = Some(ppn);
+        self.last_write[active.0 as usize] = now;
+        if let Some(times) = self.lpn_last_write.as_mut() {
+            times[lpn.0 as usize] = now;
+        }
+        self.stats.host_pages_written += 1;
+        self.stats.hot_stream_pages += u64::from(hot);
+        Ok(outcome)
+    }
+
+    /// Reads one logical page.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] for a bad address, or
+    /// [`FtlError::LpnUnmapped`] when the page has never been written.
+    pub fn host_read(&mut self, lpn: Lpn, _now: SimTime) -> Result<ReadOutcome, FtlError> {
+        self.check_lpn(lpn)?;
+        let ppn = self.mapping[lpn.0 as usize].ok_or(FtlError::LpnUnmapped { lpn })?;
+        let duration = self.device.read(ppn)?;
+        self.stats.host_pages_read += 1;
+        Ok(ReadOutcome { duration })
+    }
+
+    /// TRIMs one logical page: the mapping is dropped and the flash copy
+    /// invalidated, making its space reclaimable without migration.
+    ///
+    /// TRIM of an unmapped page is a no-op (as on real devices).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] for a bad address.
+    pub fn trim(&mut self, lpn: Lpn, _now: SimTime) -> Result<(), FtlError> {
+        self.check_lpn(lpn)?;
+        if let Some(old) = self.mapping[lpn.0 as usize].take() {
+            self.device.invalidate(old)?;
+            if self.sip.remove(lpn) {
+                let b = self.device.geometry().block_of(old);
+                self.sip_counts[b.0 as usize] = self.sip_counts[b.0 as usize].saturating_sub(1);
+            }
+        }
+        self.stats.trims += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    /// Runs background GC until `budget` time is spent, `target_free_pages`
+    /// is reached (if given), or nothing reclaimable remains.
+    ///
+    /// Collection is **page-granular and resumable**: a victim whose
+    /// remaining cost exceeds the budget is collected partially and picked
+    /// up again on the next call — exactly how a production FTL interleaves
+    /// GC steps with host I/O in sub-millisecond idle gaps. A bonus of
+    /// preemption: host overwrites landing between steps invalidate victim
+    /// pages *before* they are migrated, so interrupted victims get cheaper.
+    pub fn background_collect(
+        &mut self,
+        now: SimTime,
+        budget: SimDuration,
+        target_free_pages: Option<u64>,
+    ) -> BgcOutcome {
+        let mut outcome = BgcOutcome::default();
+        let migrate_cost = self.config.timing().page_migrate_cost();
+        let erase_cost = self.config.timing().block_erase_cost();
+        'outer: loop {
+            if let Some(target) = target_free_pages {
+                if self.gc_in_progress.is_none() && self.free_pages() >= target {
+                    break;
+                }
+            }
+            // Resume the in-progress victim or start a new one.
+            let victim = match self.gc_in_progress {
+                Some(v) => v,
+                None => {
+                    let Some(v) = self.select_victim(now, true) else {
+                        break;
+                    };
+                    self.gc_in_progress = Some(v);
+                    v
+                }
+            };
+            // Migrate surviving pages one at a time, checking the budget
+            // before each step.
+            loop {
+                let next = self.device.block(victim).valid_lpns().next();
+                match next {
+                    Some((offset, lpn)) => {
+                        if outcome.duration + migrate_cost > budget {
+                            break 'outer;
+                        }
+                        match self.migrate_page(victim, offset, lpn, now) {
+                            Ok(took) => {
+                                outcome.duration += took;
+                                outcome.pages_migrated += 1;
+                                self.stats.gc_pages_migrated += 1;
+                            }
+                            // Retirements can empty the free pool so no GC
+                            // scratch block is available: background GC
+                            // simply cannot make progress right now (the
+                            // victim stays in progress for later).
+                            Err(FtlError::NoReclaimableSpace) => break 'outer,
+                            Err(e) => panic!("BGC migration failed: {e}"),
+                        }
+                    }
+                    None => {
+                        if outcome.duration + erase_cost > budget {
+                            break 'outer;
+                        }
+                        let freed = u64::from(self.device.block(victim).invalid_pages());
+                        match self.erase_or_retire(victim) {
+                            Some(took) => {
+                                outcome.duration += took;
+                                outcome.blocks_erased += 1;
+                                outcome.pages_freed += freed;
+                            }
+                            None => {
+                                // Worn out: retired, nothing reclaimed.
+                            }
+                        }
+                        self.gc_in_progress = None;
+                        break;
+                    }
+                }
+            }
+        }
+        if outcome.blocks_erased > 0 || outcome.pages_migrated > 0 {
+            self.stats.bgc_invocations += 1;
+            self.stats.bgc_blocks += outcome.blocks_erased;
+            self.stats.bgc_time += outcome.duration;
+        }
+        outcome
+    }
+
+    /// Migrates one valid page out of `victim` into the GC write stream.
+    fn migrate_page(
+        &mut self,
+        victim: BlockId,
+        offset: u32,
+        lpn: Lpn,
+        now: SimTime,
+    ) -> Result<SimDuration, FtlError> {
+        let old_ppn = self.device.geometry().ppn(victim, offset);
+        let mut took = self.device.read(old_ppn)?;
+        let gc_block = self.ensure_active_gc_block()?;
+        let gc_offset = self
+            .device
+            .block(gc_block)
+            .next_free_offset()
+            .expect("gc block has space by construction");
+        let new_ppn = self.device.geometry().ppn(gc_block, gc_offset);
+        took += self.device.program(new_ppn, lpn)?;
+        self.device.invalidate(old_ppn)?;
+        self.mapping[lpn.0 as usize] = Some(new_ppn);
+        self.last_write[gc_block.0 as usize] = now;
+        if self.sip.contains(lpn) {
+            self.sip_counts[victim.0 as usize] =
+                self.sip_counts[victim.0 as usize].saturating_sub(1);
+            self.sip_counts[gc_block.0 as usize] += 1;
+        }
+        Ok(took)
+    }
+
+    /// Foreground reclamation: collect until the pool rises above the GC
+    /// scratch floor. Finishes any half-collected background victim first —
+    /// it is the cheapest source of a free block.
+    fn foreground_collect(&mut self, now: SimTime) -> Result<BgcOutcome, FtlError> {
+        let mut outcome = BgcOutcome::default();
+        if let Some(victim) = self.gc_in_progress.take() {
+            let (duration, migrated) = self.collect_block(victim, now)?;
+            outcome.duration += duration;
+            outcome.blocks_erased += 1;
+            outcome.pages_migrated += migrated;
+        }
+        while self.pool_is_at_floor() {
+            let victim = self
+                .select_victim(now, false)
+                .ok_or(FtlError::NoReclaimableSpace)?;
+            let (duration, migrated) = self.collect_block(victim, now)?;
+            outcome.duration += duration;
+            outcome.blocks_erased += 1;
+            outcome.pages_migrated += migrated;
+        }
+        Ok(outcome)
+    }
+
+    /// Migrates every remaining valid page out of `victim` and erases it.
+    fn collect_block(
+        &mut self,
+        victim: BlockId,
+        now: SimTime,
+    ) -> Result<(SimDuration, u64), FtlError> {
+        debug_assert!(!self.is_free[victim.0 as usize], "victim must be in use");
+        debug_assert!(
+            self.active_user != Some(victim) && self.active_gc != Some(victim),
+            "victim must not be an active block"
+        );
+        let mut duration = SimDuration::ZERO;
+        let mut migrated = 0u64;
+        while let Some((offset, lpn)) = {
+            let next = self.device.block(victim).valid_lpns().next();
+            next
+        } {
+            duration += self.migrate_page(victim, offset, lpn, now)?;
+            migrated += 1;
+            self.stats.gc_pages_migrated += 1;
+        }
+        debug_assert_eq!(
+            self.sip_counts[victim.0 as usize], 0,
+            "erased block retains SIP-listed valid pages"
+        );
+        if let Some(took) = self.erase_or_retire(victim) {
+            duration += took;
+        }
+        Ok((duration, migrated))
+    }
+
+    /// Erases `victim` and returns it to the free pool, or — when the
+    /// block has exceeded its endurance limit — retires it as a bad block
+    /// (capacity shrinks by one block) and returns `None`.
+    fn erase_or_retire(&mut self, victim: BlockId) -> Option<SimDuration> {
+        match self.device.erase(victim) {
+            Ok(took) => {
+                self.sip_counts[victim.0 as usize] = 0;
+                self.free_blocks.push(victim);
+                self.is_free[victim.0 as usize] = true;
+                Some(took)
+            }
+            Err(jitgc_nand::NandError::BlockWornOut { .. }) => {
+                self.sip_counts[victim.0 as usize] = 0;
+                self.is_retired[victim.0 as usize] = true;
+                self.stats.retired_blocks += 1;
+                None
+            }
+            Err(e) => panic!("erase of selected victim failed: {e}"),
+        }
+    }
+
+    /// Number of blocks retired as bad (endurance exceeded).
+    #[must_use]
+    pub fn retired_blocks(&self) -> u64 {
+        self.stats.retired_blocks
+    }
+
+    /// Chooses the next GC victim. For background GC with a non-empty SIP
+    /// list and filtering enabled, candidates whose soon-to-be-invalidated
+    /// fraction exceeds the configured threshold are avoided; if that
+    /// filter would leave no candidate, the unfiltered choice is used.
+    fn select_victim(&mut self, now: SimTime, background: bool) -> Option<BlockId> {
+        let candidates = self.candidate_infos();
+        let unfiltered = self
+            .selector
+            .select(&mut candidates.iter().copied(), now)?;
+        if !background || !self.sip_filter_enabled || self.sip.is_empty() {
+            return Some(unfiltered);
+        }
+
+        self.stats.sip_eligible_selections += 1;
+        let threshold = self.config.sip_filter_threshold_permille();
+        let mut kept = candidates
+            .iter()
+            .copied()
+            .filter(|c| u64::from(c.sip_valid) * 1000 <= u64::from(c.valid) * threshold);
+        let choice = self.selector.select(&mut kept, now).unwrap_or(unfiltered);
+        if choice != unfiltered {
+            self.stats.sip_filtered_selections += 1;
+        }
+        Some(choice)
+    }
+
+    fn candidate_infos(&self) -> Vec<BlockInfo> {
+        self.device
+            .geometry()
+            .block_ids()
+            .filter(|b| {
+                !self.is_free[b.0 as usize]
+                    && !self.is_retired[b.0 as usize]
+                    && self.active_user != Some(*b)
+                    && self.active_hot != Some(*b)
+                    && self.active_gc != Some(*b)
+                    && self.gc_in_progress != Some(*b)
+            })
+            .map(|b| {
+                let block = self.device.block(b);
+                BlockInfo {
+                    id: b,
+                    valid: block.valid_pages(),
+                    invalid: block.invalid_pages(),
+                    pages: block.pages(),
+                    erase_count: block.erase_count(),
+                    last_write: self.last_write[b.0 as usize],
+                    sip_valid: self.sip_counts[b.0 as usize],
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Wear leveling
+    // ------------------------------------------------------------------
+
+    /// One static wear-leveling pass: when the erase-count spread exceeds
+    /// the configured threshold, the coldest sealed block's data is
+    /// relocated into the most-worn free block and the cold block is
+    /// erased, putting its low-wear cells back into circulation.
+    pub fn wear_level(&mut self, now: SimTime) -> Result<WearLevelOutcome, FtlError> {
+        let wear = self.device.wear_report();
+        if wear.max - wear.min <= self.config.wear_level_threshold() {
+            return Ok(WearLevelOutcome::default());
+        }
+        // Coldest sealed candidate: minimum erase count.
+        let candidates = self.candidate_infos();
+        let Some(coldest) = candidates.iter().min_by_key(|c| (c.erase_count, c.id)) else {
+            return Ok(WearLevelOutcome::default());
+        };
+        // Steer the relocation into the most-worn free block by making it
+        // the active GC block for this pass.
+        if let Some(hot_idx) = (0..self.free_blocks.len()).max_by_key(|&i| {
+            let b = self.free_blocks[i];
+            (self.device.block(b).erase_count(), b)
+        }) {
+            // Only retarget when no GC block is currently open.
+            if self.active_gc.is_none()
+                || self
+                    .active_gc
+                    .is_some_and(|b| self.device.block(b).next_free_offset().is_none())
+            {
+                let hot = self.free_blocks.swap_remove(hot_idx);
+                self.is_free[hot.0 as usize] = false;
+                self.active_gc = Some(hot);
+            }
+        }
+        let coldest = coldest.id;
+        let (duration, moved) = self.collect_block(coldest, now)?;
+        self.stats.wear_level_migrations += moved;
+        self.stats.wear_level_blocks += 1;
+        Ok(WearLevelOutcome {
+            duration,
+            performed: true,
+            moved_pages: moved,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // SIP list
+    // ------------------------------------------------------------------
+
+    /// Installs the soon-to-be-invalidated page list delivered by the
+    /// host-side predictor, replacing the previous one. Per-block SIP
+    /// counts are recomputed from the current mapping.
+    pub fn set_sip_list(&mut self, sip: SipList) {
+        self.sip_counts.fill(0);
+        for lpn in sip.iter() {
+            if let Some(Some(ppn)) = self.mapping.get(lpn.0 as usize) {
+                let b = self.device.geometry().block_of(*ppn);
+                self.sip_counts[b.0 as usize] += 1;
+            }
+        }
+        self.sip = sip;
+    }
+
+    /// Enables or disables SIP-aware victim filtering (for the ablation
+    /// study; the paper's JIT-GC has it on, ADP-GC has it off).
+    pub fn set_sip_filter_enabled(&mut self, enabled: bool) {
+        self.sip_filter_enabled = enabled;
+    }
+
+    /// `true` when SIP-aware victim filtering is active.
+    #[must_use]
+    pub fn sip_filter_enabled(&self) -> bool {
+        self.sip_filter_enabled
+    }
+
+    // ------------------------------------------------------------------
+    // Space accounting and accessors
+    // ------------------------------------------------------------------
+
+    /// Pages the host can write before foreground GC becomes necessary:
+    /// all free pages minus the GC scratch reserve.
+    #[must_use]
+    pub fn free_pages(&self) -> u64 {
+        let reserve = u64::from(self.config.gc_reserve_blocks())
+            * u64::from(self.config.geometry().pages_per_block());
+        self.device.total_free_pages().saturating_sub(reserve)
+    }
+
+    /// [`free_pages`](Self::free_pages) in bytes — the `C_free` the JIT-GC
+    /// manager polls over the extended host interface.
+    #[must_use]
+    pub fn free_capacity(&self) -> ByteSize {
+        self.config.geometry().page_size() * self.free_pages()
+    }
+
+    /// The largest free capacity background GC could ever produce right
+    /// now: current free space plus every reclaimable (invalid) page.
+    /// Policies must not target beyond this — the paper's `C_resv ≤
+    /// C_unused + C_OP` restriction, which "avoids useless BGC operations
+    /// when an SSD is filled with a large amount of user data".
+    #[must_use]
+    pub fn reclaimable_capacity(&self) -> ByteSize {
+        self.config.geometry().page_size()
+            * (self.free_pages() + self.device.total_invalid_pages())
+    }
+
+    /// Zeroes every statistics counter (FTL and NAND operation counters)
+    /// while leaving device *state* — mapping, page states, per-block wear
+    /// — untouched. Used after aging pre-fill so measurements cover only
+    /// the steady-state phase.
+    pub fn reset_counters(&mut self) {
+        self.stats = FtlStats::default();
+        self.device.reset_stats();
+    }
+
+    /// The over-provisioning capacity `C_OP`.
+    #[must_use]
+    pub fn op_capacity(&self) -> ByteSize {
+        self.config.op_capacity()
+    }
+
+    /// The configuration this FTL was built with.
+    #[must_use]
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// Read-only view of the underlying NAND device.
+    #[must_use]
+    pub fn device(&self) -> &NandDevice {
+        &self.device
+    }
+
+    /// FTL-level statistics.
+    #[must_use]
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    /// Current Write Amplification Factor, or `None` before the first host
+    /// write.
+    #[must_use]
+    pub fn waf(&self) -> Option<f64> {
+        self.stats.waf(self.device.stats().programs)
+    }
+
+    /// The physical location currently mapped for `lpn`, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] for a bad address.
+    pub fn lookup(&self, lpn: Lpn) -> Result<Option<Ppn>, FtlError> {
+        self.check_lpn(lpn)?;
+        Ok(self.mapping[lpn.0 as usize])
+    }
+
+    /// The name of the installed victim-selection policy.
+    #[must_use]
+    pub fn victim_policy(&self) -> &'static str {
+        self.selector.name()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_lpn(&self, lpn: Lpn) -> Result<(), FtlError> {
+        if lpn.0 < self.config.user_pages() {
+            Ok(())
+        } else {
+            Err(FtlError::LpnOutOfRange {
+                lpn,
+                user_pages: self.config.user_pages(),
+            })
+        }
+    }
+
+    /// Classifies a write as hot (rewritten within the configured window)
+    /// when hot/cold stream separation is enabled.
+    fn classify_hot(&self, lpn: Lpn, now: SimTime) -> bool {
+        let Some(times) = self.lpn_last_write.as_ref() else {
+            return false;
+        };
+        // Never-written pages are cold by definition (mapping check, not a
+        // timestamp sentinel — a legitimate write at t = 0 must count).
+        if self.mapping[lpn.0 as usize].is_none() {
+            return false;
+        }
+        now.saturating_since(times[lpn.0 as usize]) <= self.config.hot_window()
+    }
+
+    fn needs_active_block(&self, hot: bool) -> bool {
+        let active = if hot { self.active_hot } else { self.active_user };
+        match active {
+            None => true,
+            Some(b) => self.device.block(b).is_full(),
+        }
+    }
+
+    /// `true` when allocating another user block would eat into the GC
+    /// scratch reserve — the foreground-GC trigger.
+    fn pool_is_at_floor(&self) -> bool {
+        self.free_blocks.len() <= self.config.gc_reserve_blocks() as usize
+    }
+
+    fn ensure_active_block(&mut self, hot: bool) -> Result<BlockId, FtlError> {
+        if !self.needs_active_block(hot) {
+            let active = if hot { self.active_hot } else { self.active_user };
+            return Ok(active.expect("checked present"));
+        }
+        let block = self
+            .allocate_least_worn()
+            .ok_or(FtlError::NoReclaimableSpace)?;
+        if hot {
+            self.active_hot = Some(block);
+        } else {
+            self.active_user = Some(block);
+        }
+        Ok(block)
+    }
+
+    fn ensure_active_gc_block(&mut self) -> Result<BlockId, FtlError> {
+        let needs = match self.active_gc {
+            None => true,
+            Some(b) => self.device.block(b).is_full(),
+        };
+        if needs {
+            let block = self
+                .allocate_least_worn()
+                .ok_or(FtlError::NoReclaimableSpace)?;
+            self.active_gc = Some(block);
+        }
+        Ok(self.active_gc.expect("just ensured"))
+    }
+
+    fn allocate_least_worn(&mut self) -> Option<BlockId> {
+        let idx = (0..self.free_blocks.len()).min_by_key(|&i| {
+            let b = self.free_blocks[i];
+            (self.device.block(b).erase_count(), b)
+        })?;
+        let block = self.free_blocks.swap_remove(idx);
+        self.is_free[block.0 as usize] = false;
+        Some(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GreedySelector;
+
+    fn small_config(op_permille: u64) -> FtlConfig {
+        FtlConfig::builder()
+            .user_pages(64)
+            .op_permille(op_permille)
+            .pages_per_block(8)
+            .page_size_bytes(4096)
+            .gc_reserve_blocks(2)
+            .build()
+    }
+
+    fn small_ftl() -> Ftl {
+        Ftl::new(small_config(250), Box::new(GreedySelector))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut ftl = small_ftl();
+        ftl.host_write(Lpn(5), t(0)).expect("in range");
+        let read = ftl.host_read(Lpn(5), t(1)).expect("mapped");
+        assert!(read.duration.as_micros() > 0);
+        assert_eq!(ftl.stats().host_pages_written, 1);
+        assert_eq!(ftl.stats().host_pages_read, 1);
+    }
+
+    #[test]
+    fn read_unmapped_fails() {
+        let mut ftl = small_ftl();
+        assert!(matches!(
+            ftl.host_read(Lpn(5), t(0)),
+            Err(FtlError::LpnUnmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_lpn_fails() {
+        let mut ftl = small_ftl();
+        assert!(matches!(
+            ftl.host_write(Lpn(64), t(0)),
+            Err(FtlError::LpnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ftl.host_read(Lpn(1000), t(0)),
+            Err(FtlError::LpnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ftl.trim(Lpn(64), t(0)),
+            Err(FtlError::LpnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_copy() {
+        let mut ftl = small_ftl();
+        ftl.host_write(Lpn(3), t(0)).expect("in range");
+        let first = ftl.lookup(Lpn(3)).expect("in range").expect("mapped");
+        ftl.host_write(Lpn(3), t(1)).expect("in range");
+        let second = ftl.lookup(Lpn(3)).expect("in range").expect("mapped");
+        assert_ne!(first, second);
+        assert_eq!(ftl.device().total_invalid_pages(), 1);
+        assert_eq!(ftl.device().total_valid_pages(), 1);
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_foreground_gc() {
+        let mut ftl = small_ftl();
+        let mut saw_fgc = false;
+        // Fill the whole space once, then hammer only the even LPNs: every
+        // victim block keeps half its pages valid, so GC must migrate.
+        for lpn in 0..64u64 {
+            ftl.host_write(Lpn(lpn), t(0)).expect("in range");
+        }
+        for round in 1..40u64 {
+            for lpn in (0..64u64).step_by(2) {
+                let out = ftl.host_write(Lpn(lpn), t(round)).expect("in range");
+                saw_fgc |= out.foreground_gc;
+            }
+        }
+        assert!(saw_fgc, "foreground GC never fired");
+        assert!(ftl.stats().fgc_invocations > 0);
+        assert!(ftl.stats().gc_pages_migrated > 0);
+        let waf = ftl.waf().expect("host writes happened");
+        assert!(waf > 1.0, "GC must amplify writes, waf={waf}");
+    }
+
+    #[test]
+    fn background_gc_prevents_foreground_gc() {
+        // Spare physical capacity above the GC reserve is 16 pages, so a
+        // 16-page burst followed by generous idle-time BGC must never hit
+        // foreground GC.
+        let mut ftl = small_ftl();
+        let mut fgc_count = 0u64;
+        for round in 0..80u64 {
+            for i in 0..16u64 {
+                let lpn = (round * 16 + i) % 64;
+                let out = ftl.host_write(Lpn(lpn), t(round)).expect("in range");
+                fgc_count += u64::from(out.foreground_gc);
+            }
+            ftl.background_collect(t(round), SimDuration::from_secs(10), None);
+        }
+        assert_eq!(fgc_count, 0, "BGC should have absorbed all reclamation");
+        assert!(ftl.stats().bgc_blocks > 0);
+        assert_eq!(ftl.stats().fgc_invocations, 0);
+    }
+
+    #[test]
+    fn bgc_respects_budget() {
+        let mut ftl = small_ftl();
+        for round in 0..10u64 {
+            for lpn in 0..64u64 {
+                ftl.host_write(Lpn(lpn), t(round)).expect("in range");
+            }
+        }
+        let tiny = SimDuration::from_micros(1);
+        let out = ftl.background_collect(t(100), tiny, None);
+        assert_eq!(out.blocks_erased, 0, "budget too small for any block");
+        assert!(out.duration <= tiny);
+    }
+
+    #[test]
+    fn bgc_stops_at_target() {
+        let mut ftl = small_ftl();
+        for round in 0..10u64 {
+            for lpn in 0..64u64 {
+                ftl.host_write(Lpn(lpn), t(round)).expect("in range");
+            }
+        }
+        let before = ftl.free_pages();
+        let target = before + 8; // one block's worth
+        let out = ftl.background_collect(t(100), SimDuration::from_secs(100), Some(target));
+        assert!(ftl.free_pages() >= target);
+        // Should not have collected far past the target.
+        assert!(out.blocks_erased <= 3, "erased {}", out.blocks_erased);
+    }
+
+    #[test]
+    fn free_pages_accounting_is_conserved() {
+        let mut ftl = small_ftl();
+        let total = ftl.device().geometry().total_pages();
+        for round in 0..5u64 {
+            for lpn in 0..64u64 {
+                ftl.host_write(Lpn(lpn), t(round)).expect("in range");
+            }
+            let dev = ftl.device();
+            assert_eq!(
+                dev.total_valid_pages() + dev.total_invalid_pages() + dev.total_free_pages(),
+                total
+            );
+            assert_eq!(dev.total_valid_pages(), 64);
+        }
+    }
+
+    #[test]
+    fn trim_releases_space_without_migration() {
+        let mut ftl = small_ftl();
+        ftl.host_write(Lpn(9), t(0)).expect("in range");
+        ftl.trim(Lpn(9), t(1)).expect("in range");
+        assert_eq!(ftl.lookup(Lpn(9)).expect("in range"), None);
+        assert_eq!(ftl.device().total_valid_pages(), 0);
+        assert!(matches!(
+            ftl.host_read(Lpn(9), t(2)),
+            Err(FtlError::LpnUnmapped { .. })
+        ));
+        // Trimming again is a no-op.
+        ftl.trim(Lpn(9), t(3)).expect("in range");
+        assert_eq!(ftl.stats().trims, 2);
+    }
+
+    #[test]
+    fn sip_list_counts_follow_mapping() {
+        let mut ftl = small_ftl();
+        for lpn in 0..16u64 {
+            ftl.host_write(Lpn(lpn), t(0)).expect("in range");
+        }
+        let sip: SipList = (0..8u64).map(Lpn).collect();
+        ftl.set_sip_list(sip);
+        // Overwriting a SIP page removes it from the list.
+        ftl.host_write(Lpn(0), t(1)).expect("in range");
+        ftl.host_write(Lpn(999).min(Lpn(15)), t(1)).expect("in range");
+        // Re-install to verify recomputation path too.
+        let sip2: SipList = (0..4u64).map(Lpn).collect();
+        ftl.set_sip_list(sip2);
+        // No panic and counts consistent: total sip_valid equals mapped SIP pages.
+        let total: u32 = ftl.sip_counts.iter().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn sip_filter_redirects_bgc_victims() {
+        // Two sealed blocks with equal valid counts; the one full of
+        // SIP-listed pages must be avoided.
+        let mut ftl = small_ftl();
+        // Fill blocks deterministically: 8 pages per block.
+        // Block A: lpns 0..8, Block B: lpns 8..16.
+        for lpn in 0..16u64 {
+            ftl.host_write(Lpn(lpn), t(0)).expect("in range");
+        }
+        // Invalidate half of each block so both are equally attractive,
+        // but make block A's survivors soon-to-be-invalidated.
+        for lpn in [0u64, 1, 2, 3, 8, 9, 10, 11] {
+            ftl.host_write(Lpn(lpn), t(1)).expect("in range");
+        }
+        let sip: SipList = [Lpn(4), Lpn(5), Lpn(6), Lpn(7)].into_iter().collect();
+        ftl.set_sip_list(sip);
+        let out = ftl.background_collect(t(2), SimDuration::from_secs(1), Some(ftl.free_pages() + 4));
+        assert!(out.blocks_erased >= 1);
+        assert!(
+            ftl.stats().sip_filtered_selections >= 1,
+            "SIP filter should have redirected the greedy choice"
+        );
+        // The redirected victim held the four live non-SIP pages, which
+        // were migrated; the SIP'd pages (4..8) stayed put.
+        assert_eq!(ftl.stats().gc_pages_migrated, 4);
+    }
+
+    #[test]
+    fn sip_filter_disabled_means_no_filtering() {
+        let mut ftl = small_ftl();
+        ftl.set_sip_filter_enabled(false);
+        assert!(!ftl.sip_filter_enabled());
+        for lpn in 0..16u64 {
+            ftl.host_write(Lpn(lpn), t(0)).expect("in range");
+        }
+        for lpn in [0u64, 1, 2, 3, 8, 9, 10, 11] {
+            ftl.host_write(Lpn(lpn), t(1)).expect("in range");
+        }
+        ftl.set_sip_list([Lpn(4), Lpn(5), Lpn(6), Lpn(7)].into_iter().collect());
+        ftl.background_collect(t(2), SimDuration::from_secs(1), None);
+        assert_eq!(ftl.stats().sip_eligible_selections, 0);
+        assert_eq!(ftl.stats().sip_filtered_selections, 0);
+    }
+
+    #[test]
+    fn free_capacity_shrinks_with_writes() {
+        let mut ftl = small_ftl();
+        let before = ftl.free_capacity();
+        ftl.host_write(Lpn(0), t(0)).expect("in range");
+        assert!(ftl.free_capacity() < before);
+        assert_eq!(
+            before - ftl.free_capacity(),
+            ftl.config().geometry().page_size()
+        );
+    }
+
+    #[test]
+    fn op_capacity_matches_config() {
+        let ftl = small_ftl();
+        assert_eq!(ftl.op_capacity(), ftl.config().op_capacity());
+        assert_eq!(ftl.op_capacity(), ByteSize::bytes(16 * 4096));
+    }
+
+    #[test]
+    fn wear_level_reduces_spread() {
+        let mut ftl = Ftl::new(
+            FtlConfig::builder()
+                .user_pages(64)
+                .op_permille(250)
+                .pages_per_block(8)
+                .gc_reserve_blocks(2)
+                .wear_level_threshold(4)
+                .build(),
+            Box::new(GreedySelector),
+        );
+        // Create heavy uneven wear: hot small working set.
+        for round in 0..200u64 {
+            for lpn in 0..16u64 {
+                ftl.host_write(Lpn(lpn), t(round)).expect("in range");
+            }
+            // Also keep cold data in place.
+            if round == 0 {
+                for lpn in 16..64u64 {
+                    ftl.host_write(Lpn(lpn), t(round)).expect("in range");
+                }
+            }
+            ftl.background_collect(t(round), SimDuration::from_secs(1), None);
+        }
+        let before = ftl.device().wear_report();
+        if before.max - before.min > 4 {
+            let out = ftl.wear_level(t(1000)).expect("wear level");
+            assert!(out.performed);
+            assert!(ftl.stats().wear_level_blocks > 0);
+        }
+    }
+
+    #[test]
+    fn hot_cold_streams_separate_blocks() {
+        let mut ftl = Ftl::new(
+            FtlConfig::builder()
+                .user_pages(64)
+                .op_permille(250)
+                .pages_per_block(8)
+                .gc_reserve_blocks(2)
+                .hot_cold_streams(SimDuration::from_secs(10))
+                .build(),
+            Box::new(GreedySelector),
+        );
+        // First writes are cold (no history).
+        for lpn in 0..8u64 {
+            ftl.host_write(Lpn(lpn), t(0)).expect("in range");
+        }
+        assert_eq!(ftl.stats().hot_stream_pages, 0);
+        // Immediate rewrites are hot and must land in a different block.
+        for lpn in 0..4u64 {
+            ftl.host_write(Lpn(lpn), t(1)).expect("in range");
+        }
+        assert_eq!(ftl.stats().hot_stream_pages, 4);
+        let cold_block = ftl
+            .device()
+            .geometry()
+            .block_of(ftl.lookup(Lpn(5)).expect("in range").expect("mapped"));
+        let hot_block = ftl
+            .device()
+            .geometry()
+            .block_of(ftl.lookup(Lpn(0)).expect("in range").expect("mapped"));
+        assert_ne!(cold_block, hot_block, "hot rewrites share the cold block");
+        // A rewrite outside the hot window is cold again.
+        ftl.host_write(Lpn(0), t(60)).expect("in range");
+        assert_eq!(ftl.stats().hot_stream_pages, 4);
+    }
+
+    #[test]
+    fn hot_cold_disabled_by_default() {
+        let mut ftl = small_ftl();
+        ftl.host_write(Lpn(0), t(0)).expect("in range");
+        ftl.host_write(Lpn(0), t(1)).expect("in range");
+        assert_eq!(ftl.stats().hot_stream_pages, 0);
+        assert!(!ftl.config().hot_cold_streams());
+    }
+
+    #[test]
+    fn worn_out_blocks_are_retired_not_reused() {
+        let mut ftl = Ftl::new(
+            FtlConfig::builder()
+                .user_pages(64)
+                .op_permille(500) // generous OP so retirement is survivable
+                .pages_per_block(8)
+                .gc_reserve_blocks(2)
+                .endurance_limit(3)
+                .build(),
+            Box::new(GreedySelector),
+        );
+        // Hammer hot pages so GC cycles blocks until some wear out.
+        let mut round = 0u64;
+        while ftl.retired_blocks() == 0 && round < 2_000 {
+            for lpn in 0..16u64 {
+                ftl.host_write(Lpn(lpn), t(round)).expect("in range");
+            }
+            ftl.background_collect(t(round), SimDuration::from_secs(1), None);
+            round += 1;
+        }
+        assert!(ftl.retired_blocks() > 0, "no block retired after {round} rounds");
+        // The FTL keeps serving I/O after retirements.
+        for lpn in 0..16u64 {
+            ftl.host_write(Lpn(lpn), t(round + 1)).expect("still serving");
+            assert!(ftl.host_read(Lpn(lpn), t(round + 1)).is_ok());
+        }
+        // Accounting: retired blocks are neither free nor candidates, and
+        // every mapped page is still exactly once valid.
+        assert_eq!(ftl.device().total_valid_pages(), 16);
+    }
+
+    #[test]
+    fn endurance_limit_is_optional() {
+        let ftl = small_ftl();
+        assert_eq!(ftl.config().endurance_limit(), None);
+        assert_eq!(ftl.retired_blocks(), 0);
+    }
+
+    #[test]
+    fn victim_policy_name_is_exposed() {
+        let ftl = small_ftl();
+        assert_eq!(ftl.victim_policy(), "greedy");
+    }
+
+    #[test]
+    fn determinism_same_operations_same_stats() {
+        let run = || {
+            let mut ftl = small_ftl();
+            for round in 0..10u64 {
+                for lpn in 0..64u64 {
+                    ftl.host_write(Lpn((lpn * 7) % 64), t(round)).expect("in range");
+                }
+                ftl.background_collect(t(round), SimDuration::from_millis(50), None);
+            }
+            (
+                *ftl.stats(),
+                ftl.device().stats().programs,
+                ftl.device().stats().erases,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

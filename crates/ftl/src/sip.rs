@@ -1,0 +1,121 @@
+//! The soon-to-be-invalidated page (SIP) list.
+
+use jitgc_nand::Lpn;
+use std::collections::HashSet;
+
+/// The set of logical pages expected to be invalidated shortly.
+///
+/// The paper's buffered-write predictor scans the page cache and reports
+/// every dirty page's logical address: the flash copy of such a page will
+/// become garbage as soon as the dirty page is flushed, so migrating it
+/// during BGC is wasted work. The FTL uses this list to steer victim
+/// selection away from blocks rich in soon-dead data (Sec. 3.3, Table 3).
+///
+/// # Example
+///
+/// ```
+/// use jitgc_ftl::SipList;
+/// use jitgc_nand::Lpn;
+///
+/// let sip: SipList = [Lpn(1), Lpn(5)].into_iter().collect();
+/// assert!(sip.contains(Lpn(5)));
+/// assert_eq!(sip.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SipList {
+    lpns: HashSet<Lpn>,
+}
+
+impl SipList {
+    /// Creates an empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        SipList::default()
+    }
+
+    /// `true` if `lpn` is expected to be invalidated soon.
+    #[must_use]
+    pub fn contains(&self, lpn: Lpn) -> bool {
+        self.lpns.contains(&lpn)
+    }
+
+    /// Adds a logical page; returns `false` if it was already present.
+    pub fn insert(&mut self, lpn: Lpn) -> bool {
+        self.lpns.insert(lpn)
+    }
+
+    /// Removes a logical page (e.g. once the overwrite actually landed);
+    /// returns `true` if it was present.
+    pub fn remove(&mut self, lpn: Lpn) -> bool {
+        self.lpns.remove(&lpn)
+    }
+
+    /// Number of pages on the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lpns.len()
+    }
+
+    /// `true` when the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lpns.is_empty()
+    }
+
+    /// Iterates the listed logical pages (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = Lpn> + '_ {
+        self.lpns.iter().copied()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.lpns.clear();
+    }
+}
+
+impl FromIterator<Lpn> for SipList {
+    fn from_iter<T: IntoIterator<Item = Lpn>>(iter: T) -> Self {
+        SipList {
+            lpns: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Lpn> for SipList {
+    fn extend<T: IntoIterator<Item = Lpn>>(&mut self, iter: T) {
+        self.lpns.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut sip = SipList::new();
+        assert!(sip.insert(Lpn(1)));
+        assert!(!sip.insert(Lpn(1)));
+        assert!(sip.contains(Lpn(1)));
+        assert!(sip.remove(Lpn(1)));
+        assert!(!sip.remove(Lpn(1)));
+        assert!(sip.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut sip: SipList = [Lpn(1), Lpn(2)].into_iter().collect();
+        sip.extend([Lpn(3)]);
+        assert_eq!(sip.len(), 3);
+        let mut all: Vec<u64> = sip.iter().map(|l| l.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut sip: SipList = [Lpn(9)].into_iter().collect();
+        sip.clear();
+        assert!(sip.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Pluggable GC victim-block selection policies.
+
+use jitgc_nand::BlockId;
+use jitgc_sim::{SimRng, SimTime};
+
+/// A snapshot of one candidate block's state, handed to a
+/// [`VictimSelector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// The block's id.
+    pub id: BlockId,
+    /// Pages currently valid (these must be migrated if chosen).
+    pub valid: u32,
+    /// Pages currently invalid (this is the reclaimable space).
+    pub invalid: u32,
+    /// Pages per block (so selectors can normalize).
+    pub pages: u32,
+    /// Erase cycles endured so far.
+    pub erase_count: u64,
+    /// When the block was last programmed (for age-based policies).
+    pub last_write: SimTime,
+    /// How many of the valid pages appear on the current SIP list — i.e.
+    /// are expected to be invalidated shortly by incoming flushes.
+    pub sip_valid: u32,
+}
+
+/// Strategy for choosing which block garbage collection erases next.
+///
+/// Implementations choose among `candidates` (blocks that are neither free
+/// nor currently open for writes). Returning `None` means "no candidate is
+/// worth collecting" and is treated as *no reclaimable space* by foreground
+/// GC, so selectors should only do that for an empty candidate list or a
+/// list with nothing reclaimable.
+///
+/// Determinism contract: given the same candidate sequence, the same choice
+/// must be returned ([`RandomSelector`] owns its seeded RNG for this
+/// reason).
+pub trait VictimSelector: std::fmt::Debug {
+    /// A short human-readable policy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Picks a victim from `candidates`, or `None` when nothing is worth
+    /// collecting.
+    fn select(
+        &mut self,
+        candidates: &mut dyn Iterator<Item = BlockInfo>,
+        now: SimTime,
+    ) -> Option<BlockId>;
+}
+
+/// Greedy selection: the block with the fewest valid pages (cheapest to
+/// migrate, most space reclaimed). Ties break toward the lower block id so
+/// runs are reproducible.
+///
+/// This is the de-facto default in production FTLs and the baseline the
+/// paper's victim policy modifies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySelector;
+
+impl VictimSelector for GreedySelector {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn select(
+        &mut self,
+        candidates: &mut dyn Iterator<Item = BlockInfo>,
+        _now: SimTime,
+    ) -> Option<BlockId> {
+        candidates
+            .filter(|c| c.invalid > 0)
+            .min_by_key(|c| (c.valid, c.id))
+            .map(|c| c.id)
+    }
+}
+
+/// Cost-benefit selection (Kawaguchi et al.): maximizes
+/// `age × invalid / (2 × valid)`, preferring old blocks with little live
+/// data. Falls back to greedy behaviour for brand-new blocks (age 0 counts
+/// as 1 µs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostBenefitSelector;
+
+impl VictimSelector for CostBenefitSelector {
+    fn name(&self) -> &'static str {
+        "cost-benefit"
+    }
+
+    fn select(
+        &mut self,
+        candidates: &mut dyn Iterator<Item = BlockInfo>,
+        now: SimTime,
+    ) -> Option<BlockId> {
+        candidates
+            .filter(|c| c.invalid > 0)
+            .max_by_key(|c| {
+                let age_us = now.saturating_since(c.last_write).as_micros().max(1);
+                // score = age × invalid / (2 valid + 1); integer math with
+                // a scale factor to keep precision. u128 prevents overflow.
+                let score = u128::from(age_us) * u128::from(c.invalid) * 1_000
+                    / (2 * u128::from(c.valid) + 1);
+                // Tie-break toward lower ids deterministically: invert id.
+                (score, std::cmp::Reverse(c.id))
+            })
+            .map(|c| c.id)
+    }
+}
+
+/// FIFO selection: the least-recently-written block with any invalid page.
+/// Cheap and wear-friendly, but migration-heavy under skewed workloads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoSelector;
+
+impl VictimSelector for FifoSelector {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn select(
+        &mut self,
+        candidates: &mut dyn Iterator<Item = BlockInfo>,
+        _now: SimTime,
+    ) -> Option<BlockId> {
+        candidates
+            .filter(|c| c.invalid > 0)
+            .min_by_key(|c| (c.last_write, c.id))
+            .map(|c| c.id)
+    }
+}
+
+/// Uniform-random selection among reclaimable candidates. A worst-case
+/// baseline for ablation studies; deterministic per seed.
+#[derive(Debug)]
+pub struct RandomSelector {
+    rng: SimRng,
+}
+
+impl RandomSelector {
+    /// Creates a random selector with its own seeded stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RandomSelector {
+            rng: SimRng::seed(seed),
+        }
+    }
+}
+
+impl VictimSelector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(
+        &mut self,
+        candidates: &mut dyn Iterator<Item = BlockInfo>,
+        _now: SimTime,
+    ) -> Option<BlockId> {
+        let pool: Vec<BlockId> = candidates
+            .filter(|c| c.invalid > 0)
+            .map(|c| c.id)
+            .collect();
+        if pool.is_empty() {
+            None
+        } else {
+            let idx = self.rng.range_u64(0, pool.len() as u64) as usize;
+            Some(pool[idx])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info3(id: u32, valid: u32, invalid: u32) -> BlockInfo {
+        info(id, valid, invalid, 0)
+    }
+
+    fn info(id: u32, valid: u32, invalid: u32, last_write_s: u64) -> BlockInfo {
+        BlockInfo {
+            id: BlockId(id),
+            valid,
+            invalid,
+            pages: valid + invalid,
+            erase_count: 0,
+            last_write: SimTime::from_secs(last_write_s),
+            sip_valid: 0,
+        }
+    }
+
+    #[test]
+    fn greedy_picks_fewest_valid() {
+        let mut s = GreedySelector;
+        let picked = s.select(
+            &mut [info3(0, 5, 3), info3(1, 2, 6), info3(2, 7, 1)].into_iter(),
+            SimTime::from_secs(100),
+        );
+        assert_eq!(picked, Some(BlockId(1)));
+    }
+
+    #[test]
+    fn greedy_skips_fully_valid_blocks() {
+        let mut s = GreedySelector;
+        let picked = s.select(
+            &mut [info3(0, 8, 0), info3(1, 8, 0)].into_iter(),
+            SimTime::ZERO,
+        );
+        assert_eq!(picked, None);
+    }
+
+    #[test]
+    fn greedy_ties_break_low_id() {
+        let mut s = GreedySelector;
+        let picked = s.select(
+            &mut [info3(3, 2, 6), info3(1, 2, 6)].into_iter(),
+            SimTime::ZERO,
+        );
+        assert_eq!(picked, Some(BlockId(1)));
+    }
+
+    #[test]
+    fn cost_benefit_prefers_old_blocks() {
+        let mut s = CostBenefitSelector;
+        // Same valid/invalid ratio; the older block should win.
+        let picked = s.select(
+            &mut [info(0, 4, 4, 90), info(1, 4, 4, 10)].into_iter(),
+            SimTime::from_secs(100),
+        );
+        assert_eq!(picked, Some(BlockId(1)));
+    }
+
+    #[test]
+    fn cost_benefit_prefers_emptier_blocks_at_equal_age() {
+        let mut s = CostBenefitSelector;
+        let picked = s.select(
+            &mut [info(0, 6, 2, 50), info(1, 2, 6, 50)].into_iter(),
+            SimTime::from_secs(100),
+        );
+        assert_eq!(picked, Some(BlockId(1)));
+    }
+
+    #[test]
+    fn fifo_picks_oldest_write() {
+        let mut s = FifoSelector;
+        let picked = s.select(
+            &mut [info(0, 4, 4, 30), info(1, 4, 4, 10), info(2, 4, 4, 20)].into_iter(),
+            SimTime::from_secs(100),
+        );
+        assert_eq!(picked, Some(BlockId(1)));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let candidates = [info3(0, 1, 7), info3(1, 1, 7), info3(2, 1, 7)];
+        let mut a = RandomSelector::new(42);
+        let mut b = RandomSelector::new(42);
+        for _ in 0..10 {
+            assert_eq!(
+                a.select(&mut candidates.into_iter(), SimTime::ZERO),
+                b.select(&mut candidates.into_iter(), SimTime::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn random_skips_fully_valid() {
+        let mut s = RandomSelector::new(1);
+        assert_eq!(
+            s.select(&mut [info3(0, 8, 0)].into_iter(), SimTime::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut g = GreedySelector;
+        let mut cb = CostBenefitSelector;
+        let mut f = FifoSelector;
+        let mut r = RandomSelector::new(0);
+        assert_eq!(g.select(&mut std::iter::empty(), SimTime::ZERO), None);
+        assert_eq!(cb.select(&mut std::iter::empty(), SimTime::ZERO), None);
+        assert_eq!(f.select(&mut std::iter::empty(), SimTime::ZERO), None);
+        assert_eq!(r.select(&mut std::iter::empty(), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            GreedySelector.name(),
+            CostBenefitSelector.name(),
+            FifoSelector.name(),
+            RandomSelector::new(0).name(),
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

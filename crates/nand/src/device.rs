@@ -1,0 +1,434 @@
+//! The whole-device NAND model.
+
+use crate::{Block, BlockId, Geometry, Lpn, NandError, NandStats, NandTiming, PageState, Ppn,
+            WearReport};
+use jitgc_sim::SimDuration;
+
+/// A NAND flash device: a flat array of erase blocks plus a timing model
+/// and operation/wear counters.
+///
+/// Each operation returns the simulated time it consumed, so the caller
+/// (the FTL) owns the device timeline. The device itself is purely
+/// mechanical — *all* placement and reclamation intelligence lives above it.
+///
+/// # Example
+///
+/// ```
+/// use jitgc_nand::{Geometry, Lpn, NandDevice, NandTiming, PageState, Ppn};
+///
+/// # fn main() -> Result<(), jitgc_nand::NandError> {
+/// let mut dev = NandDevice::new(Geometry::builder().build(), NandTiming::mlc_20nm());
+/// dev.program(Ppn(0), Lpn(3))?;
+/// dev.invalidate(Ppn(0))?; // LPN 3 was overwritten elsewhere
+/// assert_eq!(dev.page_state(Ppn(0)), PageState::Invalid);
+/// let block = dev.geometry().block_of(Ppn(0));
+/// dev.erase(block)?;
+/// assert_eq!(dev.page_state(Ppn(0)), PageState::Free);
+/// assert_eq!(dev.stats().erases, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NandDevice {
+    geometry: Geometry,
+    timing: NandTiming,
+    blocks: Vec<Block>,
+    stats: NandStats,
+    endurance_limit: Option<u64>,
+}
+
+impl NandDevice {
+    /// Creates an erased device.
+    #[must_use]
+    pub fn new(geometry: Geometry, timing: NandTiming) -> Self {
+        let blocks = (0..geometry.blocks())
+            .map(|_| Block::new(geometry.pages_per_block()))
+            .collect();
+        NandDevice {
+            geometry,
+            timing,
+            blocks,
+            stats: NandStats::default(),
+            endurance_limit: None,
+        }
+    }
+
+    /// Sets a program/erase endurance limit; once a block's erase count
+    /// reaches it, further erases fail with [`NandError::BlockWornOut`].
+    /// 3 000 cycles is typical for 20 nm MLC.
+    #[must_use]
+    pub fn with_endurance_limit(mut self, cycles: u64) -> Self {
+        self.endurance_limit = Some(cycles);
+        self
+    }
+
+    /// The device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The timing model.
+    #[must_use]
+    pub fn timing(&self) -> &NandTiming {
+        &self.timing
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> &NandStats {
+        &self.stats
+    }
+
+    /// Zeroes the operation counters. Per-block erase counts (physical
+    /// wear) are state, not statistics, and are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats = NandStats::default();
+    }
+
+    /// Read-only access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[must_use]
+    pub fn block(&self, block: BlockId) -> &Block {
+        &self.blocks[block.0 as usize]
+    }
+
+    fn check_ppn(&self, ppn: Ppn) -> Result<(), NandError> {
+        if self.geometry.contains(ppn) {
+            Ok(())
+        } else {
+            Err(NandError::PpnOutOfRange {
+                ppn,
+                total_pages: self.geometry.total_pages(),
+            })
+        }
+    }
+
+    fn check_block(&self, block: BlockId) -> Result<(), NandError> {
+        if block.0 < self.geometry.blocks() {
+            Ok(())
+        } else {
+            Err(NandError::BlockOutOfRange {
+                block,
+                total_blocks: self.geometry.blocks(),
+            })
+        }
+    }
+
+    /// Reads one page, returning the simulated cost.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::PpnOutOfRange`] for a bad address, or
+    /// [`NandError::ReadUnwrittenPage`] when the page holds no data
+    /// (reading a stale-but-programmed page is physically fine and allowed).
+    pub fn read(&mut self, ppn: Ppn) -> Result<SimDuration, NandError> {
+        self.check_ppn(ppn)?;
+        let block = self.geometry.block_of(ppn);
+        let offset = self.geometry.page_offset(ppn);
+        if self.blocks[block.0 as usize].page_state(offset) == PageState::Free {
+            return Err(NandError::ReadUnwrittenPage { ppn });
+        }
+        let cost = self.timing.page_read_cost();
+        self.stats.reads += 1;
+        self.stats.read_time += cost;
+        Ok(cost)
+    }
+
+    /// Programs one page with `lpn` recorded in its OOB area, returning the
+    /// simulated cost.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::PpnOutOfRange`] for a bad address,
+    /// [`NandError::ProgramProgrammedPage`] on erase-before-write violation,
+    /// or [`NandError::ProgramOutOfOrder`] when `ppn` is not the block's
+    /// next sequential page.
+    pub fn program(&mut self, ppn: Ppn, lpn: Lpn) -> Result<SimDuration, NandError> {
+        self.check_ppn(ppn)?;
+        let block_id = self.geometry.block_of(ppn);
+        let offset = self.geometry.page_offset(ppn);
+        let block = &mut self.blocks[block_id.0 as usize];
+        match block.next_free_offset() {
+            None => Err(NandError::ProgramProgrammedPage { ppn }),
+            Some(expected) if expected != offset => {
+                if offset < expected {
+                    Err(NandError::ProgramProgrammedPage { ppn })
+                } else {
+                    Err(NandError::ProgramOutOfOrder {
+                        ppn,
+                        expected_offset: expected,
+                    })
+                }
+            }
+            Some(_) => {
+                block.program_next(lpn).expect("offset checked free");
+                let cost = self.timing.page_program_cost();
+                self.stats.programs += 1;
+                self.stats.program_time += cost;
+                Ok(cost)
+            }
+        }
+    }
+
+    /// Erases one block, returning the simulated cost.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] for a bad address, or
+    /// [`NandError::BlockWornOut`] when an endurance limit is configured
+    /// and reached.
+    pub fn erase(&mut self, block: BlockId) -> Result<SimDuration, NandError> {
+        self.check_block(block)?;
+        if let Some(limit) = self.endurance_limit {
+            if self.blocks[block.0 as usize].erase_count() >= limit {
+                return Err(NandError::BlockWornOut { block, limit });
+            }
+        }
+        self.blocks[block.0 as usize].erase();
+        let cost = self.timing.block_erase_cost();
+        self.stats.erases += 1;
+        self.stats.erase_time += cost;
+        Ok(cost)
+    }
+
+    /// Marks a valid page invalid (metadata-only; consumes no array time).
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::PpnOutOfRange`] for a bad address, or
+    /// [`NandError::InvalidateNonValidPage`] unless the page is valid.
+    pub fn invalidate(&mut self, ppn: Ppn) -> Result<(), NandError> {
+        self.check_ppn(ppn)?;
+        let block = self.geometry.block_of(ppn);
+        let offset = self.geometry.page_offset(ppn);
+        self.blocks[block.0 as usize]
+            .invalidate(offset)
+            .map_err(|_| NandError::InvalidateNonValidPage { ppn })?;
+        self.stats.invalidations += 1;
+        Ok(())
+    }
+
+    /// State of the page at `ppn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppn` is out of range.
+    #[must_use]
+    pub fn page_state(&self, ppn: Ppn) -> PageState {
+        let block = self.geometry.block_of(ppn);
+        let offset = self.geometry.page_offset(ppn);
+        self.blocks[block.0 as usize].page_state(offset)
+    }
+
+    /// OOB-recorded owner of the page at `ppn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppn` is out of range.
+    #[must_use]
+    pub fn page_lpn(&self, ppn: Ppn) -> Option<Lpn> {
+        let block = self.geometry.block_of(ppn);
+        let offset = self.geometry.page_offset(ppn);
+        self.blocks[block.0 as usize].page_lpn(offset)
+    }
+
+    /// Total valid pages across the device.
+    #[must_use]
+    pub fn total_valid_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.valid_pages())).sum()
+    }
+
+    /// Total invalid pages across the device.
+    #[must_use]
+    pub fn total_invalid_pages(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| u64::from(b.invalid_pages()))
+            .sum()
+    }
+
+    /// Total free (programmable) pages across the device.
+    #[must_use]
+    pub fn total_free_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.free_pages())).sum()
+    }
+
+    /// The wear distribution across blocks.
+    #[must_use]
+    pub fn wear_report(&self) -> WearReport {
+        WearReport::from_counts(self.blocks.iter().map(Block::erase_count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NandDevice {
+        NandDevice::new(
+            Geometry::builder()
+                .blocks(2)
+                .pages_per_block(4)
+                .page_size_bytes(4096)
+                .build(),
+            NandTiming::mlc_20nm(),
+        )
+    }
+
+    #[test]
+    fn program_then_read() {
+        let mut dev = tiny();
+        dev.program(Ppn(0), Lpn(10)).expect("page 0 free");
+        let cost = dev.read(Ppn(0)).expect("page programmed");
+        assert_eq!(cost, dev.timing().page_read_cost());
+        assert_eq!(dev.stats().reads, 1);
+        assert_eq!(dev.stats().programs, 1);
+    }
+
+    #[test]
+    fn read_free_page_fails() {
+        let mut dev = tiny();
+        assert!(matches!(
+            dev.read(Ppn(0)),
+            Err(NandError::ReadUnwrittenPage { .. })
+        ));
+    }
+
+    #[test]
+    fn read_invalid_page_succeeds() {
+        // Physically, stale data is still readable; only free pages error.
+        let mut dev = tiny();
+        dev.program(Ppn(0), Lpn(1)).expect("free");
+        dev.invalidate(Ppn(0)).expect("valid");
+        assert!(dev.read(Ppn(0)).is_ok());
+    }
+
+    #[test]
+    fn sequential_program_enforced() {
+        let mut dev = tiny();
+        assert!(matches!(
+            dev.program(Ppn(2), Lpn(1)),
+            Err(NandError::ProgramOutOfOrder {
+                expected_offset: 0,
+                ..
+            })
+        ));
+        dev.program(Ppn(0), Lpn(1)).expect("in order");
+        dev.program(Ppn(1), Lpn(2)).expect("in order");
+        // Re-programming page 0 violates erase-before-write.
+        assert!(matches!(
+            dev.program(Ppn(0), Lpn(3)),
+            Err(NandError::ProgramProgrammedPage { .. })
+        ));
+    }
+
+    #[test]
+    fn full_block_rejects_program() {
+        let mut dev = tiny();
+        for i in 0..4 {
+            dev.program(Ppn(i), Lpn(i)).expect("in order");
+        }
+        assert!(dev.program(Ppn(3), Lpn(9)).is_err());
+        // The next block is unaffected.
+        dev.program(Ppn(4), Lpn(9)).expect("block 1 page 0 free");
+    }
+
+    #[test]
+    fn erase_enables_rewrite() {
+        let mut dev = tiny();
+        for i in 0..4 {
+            dev.program(Ppn(i), Lpn(i)).expect("in order");
+        }
+        dev.erase(BlockId(0)).expect("in range");
+        assert_eq!(dev.page_state(Ppn(0)), PageState::Free);
+        dev.program(Ppn(0), Lpn(20)).expect("erased");
+        assert_eq!(dev.block(BlockId(0)).erase_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_addresses_fail() {
+        let mut dev = tiny();
+        assert!(matches!(
+            dev.read(Ppn(8)),
+            Err(NandError::PpnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            dev.program(Ppn(8), Lpn(0)),
+            Err(NandError::PpnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            dev.erase(BlockId(2)),
+            Err(NandError::BlockOutOfRange { .. })
+        ));
+        assert!(matches!(
+            dev.invalidate(Ppn(8)),
+            Err(NandError::PpnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn invalidate_requires_valid() {
+        let mut dev = tiny();
+        assert!(dev.invalidate(Ppn(0)).is_err());
+        dev.program(Ppn(0), Lpn(0)).expect("free");
+        dev.invalidate(Ppn(0)).expect("valid");
+        assert!(dev.invalidate(Ppn(0)).is_err());
+        assert_eq!(dev.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn endurance_limit_enforced() {
+        let mut dev = tiny().with_endurance_limit(2);
+        dev.erase(BlockId(0)).expect("cycle 1");
+        dev.erase(BlockId(0)).expect("cycle 2");
+        assert!(matches!(
+            dev.erase(BlockId(0)),
+            Err(NandError::BlockWornOut { limit: 2, .. })
+        ));
+        // Other blocks still erasable.
+        dev.erase(BlockId(1)).expect("fresh block");
+    }
+
+    #[test]
+    fn page_counts_are_consistent() {
+        let mut dev = tiny();
+        dev.program(Ppn(0), Lpn(0)).expect("free");
+        dev.program(Ppn(1), Lpn(1)).expect("free");
+        dev.invalidate(Ppn(0)).expect("valid");
+        assert_eq!(dev.total_valid_pages(), 1);
+        assert_eq!(dev.total_invalid_pages(), 1);
+        assert_eq!(dev.total_free_pages(), 6);
+        assert_eq!(
+            dev.total_valid_pages() + dev.total_invalid_pages() + dev.total_free_pages(),
+            dev.geometry().total_pages()
+        );
+    }
+
+    #[test]
+    fn wear_report_reflects_erases() {
+        let mut dev = tiny();
+        dev.erase(BlockId(0)).expect("in range");
+        dev.erase(BlockId(0)).expect("in range");
+        dev.erase(BlockId(1)).expect("in range");
+        let wear = dev.wear_report();
+        assert_eq!(wear.total, 3);
+        assert_eq!(wear.max, 2);
+        assert_eq!(wear.min, 1);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut dev = tiny();
+        dev.program(Ppn(0), Lpn(0)).expect("free");
+        dev.read(Ppn(0)).expect("programmed");
+        dev.erase(BlockId(1)).expect("in range");
+        let t = dev.timing();
+        let expected =
+            t.page_program_cost() + t.page_read_cost() + t.block_erase_cost();
+        assert_eq!(dev.stats().busy_time(), expected);
+    }
+}

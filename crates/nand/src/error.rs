@@ -1,0 +1,146 @@
+//! Error type for NAND device operations.
+
+use crate::{BlockId, Ppn};
+use std::error::Error;
+use std::fmt;
+
+/// A flash-physics violation or addressing error.
+///
+/// Every variant indicates an FTL bug (or a deliberately induced fault in a
+/// failure-injection test), never a recoverable runtime condition — a
+/// correct FTL can always avoid these by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NandError {
+    /// The physical page address is outside the device.
+    PpnOutOfRange {
+        /// The offending address.
+        ppn: Ppn,
+        /// Total pages on the device.
+        total_pages: u64,
+    },
+    /// The block address is outside the device.
+    BlockOutOfRange {
+        /// The offending block.
+        block: BlockId,
+        /// Total blocks on the device.
+        total_blocks: u32,
+    },
+    /// Attempted to program a page that is already programmed since the
+    /// last erase (the erase-before-write constraint).
+    ProgramProgrammedPage {
+        /// The offending address.
+        ppn: Ppn,
+    },
+    /// Attempted to program a page out of sequential order within its block.
+    ProgramOutOfOrder {
+        /// The offending address.
+        ppn: Ppn,
+        /// The page offset that must be programmed next in this block.
+        expected_offset: u32,
+    },
+    /// Attempted to read a page that holds no data (never programmed since
+    /// the last erase).
+    ReadUnwrittenPage {
+        /// The offending address.
+        ppn: Ppn,
+    },
+    /// Attempted to invalidate a page that is not currently valid.
+    InvalidateNonValidPage {
+        /// The offending address.
+        ppn: Ppn,
+    },
+    /// The block reached its configured program/erase endurance limit.
+    BlockWornOut {
+        /// The worn-out block.
+        block: BlockId,
+        /// The endurance limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for NandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NandError::PpnOutOfRange { ppn, total_pages } => {
+                write!(f, "physical page {ppn} outside device of {total_pages} pages")
+            }
+            NandError::BlockOutOfRange {
+                block,
+                total_blocks,
+            } => {
+                write!(f, "block {block} outside device of {total_blocks} blocks")
+            }
+            NandError::ProgramProgrammedPage { ppn } => {
+                write!(f, "program of already-programmed page {ppn} without erase")
+            }
+            NandError::ProgramOutOfOrder {
+                ppn,
+                expected_offset,
+            } => write!(
+                f,
+                "out-of-order program of {ppn}, block expects offset {expected_offset} next"
+            ),
+            NandError::ReadUnwrittenPage { ppn } => {
+                write!(f, "read of unwritten page {ppn}")
+            }
+            NandError::InvalidateNonValidPage { ppn } => {
+                write!(f, "invalidate of non-valid page {ppn}")
+            }
+            NandError::BlockWornOut { block, limit } => {
+                write!(f, "block {block} exceeded endurance limit of {limit} erases")
+            }
+        }
+    }
+}
+
+impl Error for NandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = NandError::ProgramOutOfOrder {
+            ppn: Ppn(10),
+            expected_offset: 2,
+        }
+        .to_string();
+        assert!(msg.contains("P10"));
+        assert!(msg.contains("offset 2"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NandError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let errors = [
+            NandError::PpnOutOfRange {
+                ppn: Ppn(1),
+                total_pages: 2,
+            },
+            NandError::BlockOutOfRange {
+                block: BlockId(1),
+                total_blocks: 2,
+            },
+            NandError::ProgramProgrammedPage { ppn: Ppn(1) },
+            NandError::ProgramOutOfOrder {
+                ppn: Ppn(1),
+                expected_offset: 0,
+            },
+            NandError::ReadUnwrittenPage { ppn: Ppn(1) },
+            NandError::InvalidateNonValidPage { ppn: Ppn(1) },
+            NandError::BlockWornOut {
+                block: BlockId(1),
+                limit: 3_000,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Operation timing models for different NAND generations.
+
+use jitgc_sim::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters of a NAND device plus the striping parallelism the
+/// controller can exploit.
+///
+/// The paper's motivation (Sec. 1) is that program time and block size grow
+/// with density — 0.2 ms / 64 pages-per-block at 130 nm versus 2.3 ms /
+/// 384 pages-per-block at 25 nm — making GC ever more expensive. The
+/// [`legacy_130nm`](NandTiming::legacy_130nm) and
+/// [`dense_25nm`](NandTiming::dense_25nm) presets encode exactly those
+/// numbers so the `ablation_nand_generation` bench can reproduce the trend;
+/// [`mlc_20nm`](NandTiming::mlc_20nm) approximates the SM843T's 20 nm MLC
+/// flash and is the default everywhere else.
+///
+/// `parallelism` collapses the channel/way hierarchy: a controller striping
+/// over `n` independent dies sustains `n` concurrent array operations, so
+/// effective per-page cost is the raw cost divided by `n`. Policy
+/// comparisons are invariant to this constant, but it keeps absolute
+/// IOPS/bandwidth in a realistic range.
+///
+/// # Example
+///
+/// ```
+/// use jitgc_nand::NandTiming;
+///
+/// let t = NandTiming::mlc_20nm();
+/// // Effective program cost is raw cost / parallelism.
+/// assert!(t.page_program_cost() < t.raw_program_time());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NandTiming {
+    read: SimDuration,
+    program: SimDuration,
+    erase: SimDuration,
+    transfer_per_page: SimDuration,
+    parallelism: u32,
+}
+
+impl NandTiming {
+    /// Builds a custom timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    #[must_use]
+    pub fn new(
+        read: SimDuration,
+        program: SimDuration,
+        erase: SimDuration,
+        transfer_per_page: SimDuration,
+        parallelism: u32,
+    ) -> Self {
+        assert!(parallelism > 0, "parallelism must be non-zero");
+        NandTiming {
+            read,
+            program,
+            erase,
+            transfer_per_page,
+            parallelism,
+        }
+    }
+
+    /// 130 nm SLC-era flash: 0.2 ms program (paper Sec. 1), 25 µs read,
+    /// 1.5 ms erase. Pair with 64 pages/block geometry.
+    #[must_use]
+    pub fn legacy_130nm() -> Self {
+        NandTiming::new(
+            SimDuration::from_micros(25),
+            SimDuration::from_micros(200),
+            SimDuration::from_micros(1_500),
+            SimDuration::from_micros(20),
+            8,
+        )
+    }
+
+    /// 25 nm 3-bpc-era flash: 2.3 ms program (paper Sec. 1), 75 µs read,
+    /// 3.8 ms erase. Pair with 384 pages/block geometry.
+    #[must_use]
+    pub fn dense_25nm() -> Self {
+        NandTiming::new(
+            SimDuration::from_micros(75),
+            SimDuration::from_micros(2_300),
+            SimDuration::from_micros(3_800),
+            SimDuration::from_micros(20),
+            8,
+        )
+    }
+
+    /// 20 nm MLC flash approximating the Samsung SM843T (the paper's
+    /// testbed): 50 µs read, 1.3 ms program, 3 ms erase, 8-way striping.
+    #[must_use]
+    pub fn mlc_20nm() -> Self {
+        NandTiming::new(
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(1_300),
+            SimDuration::from_micros(3_000),
+            SimDuration::from_micros(10),
+            8,
+        )
+    }
+
+    /// Raw array read time (before striping).
+    #[must_use]
+    pub fn raw_read_time(&self) -> SimDuration {
+        self.read
+    }
+
+    /// Raw array program time (before striping).
+    #[must_use]
+    pub fn raw_program_time(&self) -> SimDuration {
+        self.program
+    }
+
+    /// Raw block erase time (before striping).
+    #[must_use]
+    pub fn raw_erase_time(&self) -> SimDuration {
+        self.erase
+    }
+
+    /// Bus transfer time per page.
+    #[must_use]
+    pub fn transfer_per_page(&self) -> SimDuration {
+        self.transfer_per_page
+    }
+
+    /// Striping factor.
+    #[must_use]
+    pub fn parallelism(&self) -> u32 {
+        self.parallelism
+    }
+
+    /// Effective cost of reading one page, amortized over striping.
+    /// At least 1 µs so time always advances.
+    #[must_use]
+    pub fn page_read_cost(&self) -> SimDuration {
+        Self::amortize(self.read + self.transfer_per_page, self.parallelism)
+    }
+
+    /// Effective cost of programming one page, amortized over striping.
+    #[must_use]
+    pub fn page_program_cost(&self) -> SimDuration {
+        Self::amortize(self.program + self.transfer_per_page, self.parallelism)
+    }
+
+    /// Effective cost of erasing one block, amortized over striping.
+    #[must_use]
+    pub fn block_erase_cost(&self) -> SimDuration {
+        Self::amortize(self.erase, self.parallelism)
+    }
+
+    /// Effective cost of migrating one valid page during GC
+    /// (read + program).
+    #[must_use]
+    pub fn page_migrate_cost(&self) -> SimDuration {
+        self.page_read_cost() + self.page_program_cost()
+    }
+
+    /// Sustained program bandwidth in bytes/second for the given page size
+    /// (reporting helper; the paper's `B_w`/`B_gc` are *measured* online by
+    /// the manager, not taken from here).
+    #[must_use]
+    pub fn program_bandwidth(&self, page_size: ByteSize) -> f64 {
+        page_size.as_u64() as f64 / self.page_program_cost().as_secs_f64()
+    }
+
+    fn amortize(raw: SimDuration, parallelism: u32) -> SimDuration {
+        (raw / u64::from(parallelism)).max(SimDuration::from_micros(1))
+    }
+}
+
+impl Default for NandTiming {
+    fn default() -> Self {
+        NandTiming::mlc_20nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_numbers() {
+        assert_eq!(
+            NandTiming::legacy_130nm().raw_program_time(),
+            SimDuration::from_micros(200)
+        );
+        assert_eq!(
+            NandTiming::dense_25nm().raw_program_time(),
+            SimDuration::from_micros(2_300)
+        );
+    }
+
+    #[test]
+    fn amortization_divides_by_parallelism() {
+        let t = NandTiming::mlc_20nm();
+        assert_eq!(
+            t.page_program_cost(),
+            SimDuration::from_micros((1_300 + 10) / 8)
+        );
+        assert_eq!(t.block_erase_cost(), SimDuration::from_micros(3_000 / 8));
+    }
+
+    #[test]
+    fn costs_never_hit_zero() {
+        let t = NandTiming::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            SimDuration::ZERO,
+            64,
+        );
+        assert_eq!(t.page_read_cost(), SimDuration::from_micros(1));
+        assert_eq!(t.page_program_cost(), SimDuration::from_micros(1));
+        assert_eq!(t.block_erase_cost(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn migrate_is_read_plus_program() {
+        let t = NandTiming::mlc_20nm();
+        assert_eq!(
+            t.page_migrate_cost(),
+            t.page_read_cost() + t.page_program_cost()
+        );
+    }
+
+    #[test]
+    fn program_bandwidth_is_positive() {
+        let bw = NandTiming::mlc_20nm().program_bandwidth(ByteSize::kib(4));
+        // 4 KiB / 163 µs ≈ 25 MB/s effective per the 8-way preset.
+        assert!(bw > 10e6 && bw < 100e6, "bandwidth {bw}");
+    }
+
+    #[test]
+    fn default_is_mlc() {
+        assert_eq!(NandTiming::default(), NandTiming::mlc_20nm());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be non-zero")]
+    fn zero_parallelism_panics() {
+        let _ = NandTiming::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            SimDuration::ZERO,
+            0,
+        );
+    }
+
+    #[test]
+    fn generation_trend_program_cost_grows() {
+        // The paper's motivating trend: denser flash pays more per program.
+        assert!(
+            NandTiming::dense_25nm().page_program_cost()
+                > NandTiming::legacy_130nm().page_program_cost()
+        );
+    }
+}

@@ -1,0 +1,509 @@
+//! The write-back page cache proper.
+
+use crate::{PageCacheConfig, PageCacheStats};
+use jitgc_nand::Lpn;
+use jitgc_sim::SimTime;
+use std::collections::{BTreeSet, HashMap};
+
+/// What a buffered write did to the cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WriteEffect {
+    /// Dirty pages the cache had to write back *immediately* to make room
+    /// (cache full of dirty data). The caller must submit these to the
+    /// device now; they are unpredictable early flushes and one source of
+    /// prediction error.
+    pub forced_writebacks: Vec<Lpn>,
+}
+
+/// One flusher-thread wake-up's output: the dirty pages written back.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlushBatch {
+    /// Flushed pages, oldest first. The caller submits these to the device.
+    pub lpns: Vec<Lpn>,
+    /// How many pages were flushed (all by `τ_expire` expiry; the paper's
+    /// flusher model never writes back unexpired data).
+    pub expired: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    dirty: bool,
+    last_update: SimTime,
+    /// Sequence number breaking age ties deterministically.
+    seq: u64,
+    /// LRU tick (meaningful for clean entries).
+    tick: u64,
+}
+
+/// A bounded write-back page cache with Linux-flusher semantics.
+///
+/// See the [crate documentation](crate) for the model. All mutating
+/// operations take the current simulated time; the cache holds no clock.
+#[derive(Debug)]
+pub struct PageCache {
+    config: PageCacheConfig,
+    entries: HashMap<Lpn, Entry>,
+    /// Dirty pages ordered oldest-first by (last_update, seq).
+    dirty_order: BTreeSet<(SimTime, u64, Lpn)>,
+    /// Clean pages ordered least-recently-used first by (tick).
+    clean_order: BTreeSet<(u64, Lpn)>,
+    next_seq: u64,
+    next_tick: u64,
+    stats: PageCacheStats,
+}
+
+impl PageCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(config: PageCacheConfig) -> Self {
+        PageCache {
+            config,
+            entries: HashMap::new(),
+            dirty_order: BTreeSet::new(),
+            clean_order: BTreeSet::new(),
+            next_seq: 0,
+            next_tick: 0,
+            stats: PageCacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &PageCacheConfig {
+        &self.config
+    }
+
+    /// Cache statistics.
+    #[must_use]
+    pub fn stats(&self) -> &PageCacheStats {
+        &self.stats
+    }
+
+    /// Number of cached pages (dirty + clean).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of dirty pages.
+    #[must_use]
+    pub fn dirty_count(&self) -> u64 {
+        self.dirty_order.len() as u64
+    }
+
+    /// `true` if `lpn` is cached (dirty or clean).
+    #[must_use]
+    pub fn contains(&self, lpn: Lpn) -> bool {
+        self.entries.contains_key(&lpn)
+    }
+
+    /// `true` if `lpn` is cached dirty.
+    #[must_use]
+    pub fn is_dirty(&self, lpn: Lpn) -> bool {
+        self.entries.get(&lpn).is_some_and(|e| e.dirty)
+    }
+
+    /// A buffered write: marks `lpn` dirty with age zero. Rewriting an
+    /// already-dirty page resets its age — the paper's `B → B′` case, which
+    /// *delays* that page's flush.
+    ///
+    /// Returns the dirty pages (if any) that had to be force-written-back
+    /// to make room.
+    pub fn write(&mut self, lpn: Lpn, now: SimTime) -> WriteEffect {
+        self.stats.writes += 1;
+        let mut effect = WriteEffect::default();
+        if let Some(entry) = self.entries.get(&lpn).copied() {
+            if entry.dirty {
+                self.dirty_order
+                    .remove(&(entry.last_update, entry.seq, lpn));
+            } else {
+                self.clean_order.remove(&(entry.tick, lpn));
+            }
+        } else if self.entries.len() as u64 >= self.config.capacity_pages() {
+            if let Some(victim) = self.evict_one() {
+                effect.forced_writebacks.push(victim);
+            }
+        }
+        let seq = self.bump_seq();
+        let tick = self.bump_tick();
+        self.entries.insert(
+            lpn,
+            Entry {
+                dirty: true,
+                last_update: now,
+                seq,
+                tick,
+            },
+        );
+        self.dirty_order.insert((now, seq, lpn));
+        effect
+    }
+
+    /// A buffered read: returns `true` on a cache hit. On a miss the page
+    /// is assumed fetched from the device and cached clean.
+    pub fn read(&mut self, lpn: Lpn, _now: SimTime) -> bool {
+        if let Some(entry) = self.entries.get(&lpn).copied() {
+            self.stats.read_hits += 1;
+            if !entry.dirty {
+                // Refresh LRU position.
+                self.clean_order.remove(&(entry.tick, lpn));
+                let tick = self.bump_tick();
+                self.clean_order.insert((tick, lpn));
+                self.entries
+                    .get_mut(&lpn)
+                    .expect("entry present")
+                    .tick = tick;
+            }
+            true
+        } else {
+            self.stats.read_misses += 1;
+            if self.entries.len() as u64 >= self.config.capacity_pages() {
+                // Reads never force dirty writebacks; if everything is
+                // dirty the fetched page simply is not cached.
+                if self.clean_order.is_empty() {
+                    return false;
+                }
+                self.evict_one();
+            }
+            let seq = self.bump_seq();
+            let tick = self.bump_tick();
+            self.entries.insert(
+                lpn,
+                Entry {
+                    dirty: false,
+                    last_update: SimTime::ZERO,
+                    seq,
+                    tick,
+                },
+            );
+            self.clean_order.insert((tick, lpn));
+            false
+        }
+    }
+
+    /// One flusher-thread wake-up at time `now`, following the paper's
+    /// model of the Linux flusher (Sec. 3.2.1): dirty data is written back
+    /// when **both** conditions hold — it is older than `τ_expire` *and*
+    /// the total amount of dirty data exceeds the `τ_flush` threshold.
+    /// When the conditions are met, every expired page is flushed
+    /// (oldest first).
+    ///
+    /// This AND semantics is what makes the buffered-write predictor's
+    /// relaxation an *over*-estimate: assuming expired pages always flush
+    /// ignores that `τ_flush` may gate them, so the prediction errs high
+    /// by at most `τ_flush` worth of pages — the paper's stated bound.
+    ///
+    /// Flushed pages stay cached clean.
+    pub fn flusher_tick(&mut self, now: SimTime) -> FlushBatch {
+        let mut batch = FlushBatch::default();
+        let threshold = self.config.flush_threshold_pages();
+        if self.dirty_order.len() as u64 <= threshold {
+            return batch;
+        }
+        while let Some(&(last_update, seq, lpn)) = self.dirty_order.first() {
+            if now.saturating_since(last_update) < self.config.tau_expire() {
+                break;
+            }
+            self.dirty_order.remove(&(last_update, seq, lpn));
+            self.mark_clean(lpn);
+            batch.lpns.push(lpn);
+            batch.expired += 1;
+        }
+        self.stats.flushed_expired += batch.expired as u64;
+        batch
+    }
+
+    /// Scans dirty pages oldest-first, yielding `(lpn, last_update)` — the
+    /// exact information the paper's buffered-write predictor extracts.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = (Lpn, SimTime)> + '_ {
+        self.dirty_order.iter().map(|&(t, _, lpn)| (lpn, t))
+    }
+
+    /// Writer throttling (Linux `balance_dirty_pages`): when total dirty
+    /// data exceeds the hard `dirty_ratio` limit, the *writing process*
+    /// must write back the oldest dirty pages itself, synchronously, until
+    /// the count is back at the flush threshold. Returns the pages the
+    /// caller must now submit to the device; they stay cached clean.
+    pub fn throttle_excess(&mut self) -> Vec<Lpn> {
+        let mut out = Vec::new();
+        if self.dirty_order.len() as u64 <= self.config.throttle_threshold_pages() {
+            return out;
+        }
+        let floor = self.config.flush_threshold_pages();
+        while self.dirty_order.len() as u64 > floor {
+            let &(last_update, seq, lpn) = self.dirty_order.first().expect("over threshold");
+            self.dirty_order.remove(&(last_update, seq, lpn));
+            self.mark_clean(lpn);
+            out.push(lpn);
+        }
+        self.stats.throttled_writebacks += out.len() as u64;
+        out
+    }
+
+    /// Drops `lpn` from the cache without writing it back, dirty or not.
+    /// Used when a direct write supersedes the cached copy (a later flush
+    /// of stale data must not clobber the device) and on TRIM.
+    ///
+    /// Returns `true` if the page was cached.
+    pub fn invalidate(&mut self, lpn: Lpn) -> bool {
+        let Some(entry) = self.entries.remove(&lpn) else {
+            return false;
+        };
+        if entry.dirty {
+            self.dirty_order.remove(&(entry.last_update, entry.seq, lpn));
+        } else {
+            self.clean_order.remove(&(entry.tick, lpn));
+        }
+        true
+    }
+
+    fn mark_clean(&mut self, lpn: Lpn) {
+        let tick = self.bump_tick();
+        let entry = self.entries.get_mut(&lpn).expect("flushed page cached");
+        entry.dirty = false;
+        entry.tick = tick;
+        self.clean_order.insert((tick, lpn));
+    }
+
+    /// Evicts one page to make room: LRU clean if available, else the
+    /// oldest dirty page (returned so the caller can write it back).
+    fn evict_one(&mut self) -> Option<Lpn> {
+        if let Some(&(tick, lpn)) = self.clean_order.first() {
+            self.clean_order.remove(&(tick, lpn));
+            self.entries.remove(&lpn);
+            self.stats.clean_evictions += 1;
+            None
+        } else if let Some(&(t, seq, lpn)) = self.dirty_order.first() {
+            self.dirty_order.remove(&(t, seq, lpn));
+            self.entries.remove(&lpn);
+            self.stats.forced_writebacks += 1;
+            Some(lpn)
+        } else {
+            None
+        }
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn bump_tick(&mut self) -> u64 {
+        let t = self.next_tick;
+        self.next_tick += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitgc_sim::SimDuration;
+
+    fn cache(capacity: u64) -> PageCache {
+        PageCache::new(
+            PageCacheConfig::builder()
+                .capacity_pages(capacity)
+                .tau_expire(SimDuration::from_secs(30))
+                .tau_flush_permille(100)
+                .build(),
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn write_makes_dirty() {
+        let mut c = cache(8);
+        c.write(Lpn(1), t(0));
+        assert!(c.is_dirty(Lpn(1)));
+        assert_eq!(c.dirty_count(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn expired_pages_flush_in_age_order() {
+        let mut c = cache(8);
+        c.write(Lpn(2), t(0));
+        c.write(Lpn(1), t(5));
+        let batch = c.flusher_tick(t(36));
+        assert_eq!(batch.lpns, vec![Lpn(2), Lpn(1)]);
+        assert_eq!(batch.expired, 2);
+        assert_eq!(c.dirty_count(), 0);
+        // Flushed pages stay cached clean.
+        assert!(c.contains(Lpn(1)));
+        assert!(!c.is_dirty(Lpn(1)));
+    }
+
+    #[test]
+    fn unexpired_pages_stay_dirty() {
+        let mut c = cache(100); // pressure threshold 10 pages
+        c.write(Lpn(1), t(10));
+        let batch = c.flusher_tick(t(35));
+        assert!(batch.lpns.is_empty());
+        assert!(c.is_dirty(Lpn(1)));
+    }
+
+    #[test]
+    fn rewrite_resets_age_and_delays_flush() {
+        // The paper's B → B′ case (Fig. 4): updating dirty data postpones
+        // its write-back.
+        let mut c = cache(8); // τ_flush threshold 0: expiry alone gates
+        c.write(Lpn(1), t(0));
+        c.write(Lpn(1), t(20)); // B′
+        let batch = c.flusher_tick(t(35));
+        assert!(batch.lpns.is_empty(), "age was reset at t=20");
+        let batch = c.flusher_tick(t(50));
+        assert_eq!(batch.lpns, vec![Lpn(1)]);
+        // Still a single cached page, not two.
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn tau_flush_gates_expired_pages() {
+        // Capacity 20 → threshold 2 pages (10 %). The paper's flusher
+        // writes back expired data only when total dirty data exceeds
+        // τ_flush (both conditions ANDed).
+        let mut c = cache(20);
+        c.write(Lpn(0), t(0));
+        c.write(Lpn(1), t(0));
+        // Both expired at t=31, but dirty (2) ≤ threshold (2): gated.
+        assert!(c.flusher_tick(t(31)).lpns.is_empty());
+        assert_eq!(c.dirty_count(), 2);
+        // A third dirty page crosses the threshold: every expired page
+        // flushes, the young one stays.
+        c.write(Lpn(2), t(32));
+        let batch = c.flusher_tick(t(33));
+        assert_eq!(batch.lpns, vec![Lpn(0), Lpn(1)]);
+        assert_eq!(c.dirty_count(), 1);
+    }
+
+    #[test]
+    fn unexpired_pages_never_flush_even_over_threshold() {
+        let mut c = cache(20); // threshold 2
+        for i in 0..5u64 {
+            c.write(Lpn(i), t(i));
+        }
+        // Over threshold but nothing expired: the flusher waits.
+        assert!(c.flusher_tick(t(6)).lpns.is_empty());
+        assert_eq!(c.dirty_count(), 5);
+    }
+
+    #[test]
+    fn full_cache_forces_dirty_writeback() {
+        let mut c = cache(2);
+        c.write(Lpn(0), t(0));
+        c.write(Lpn(1), t(1));
+        let effect = c.write(Lpn(2), t(2));
+        assert_eq!(effect.forced_writebacks, vec![Lpn(0)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(Lpn(0)));
+        assert_eq!(c.stats().forced_writebacks, 1);
+    }
+
+    #[test]
+    fn clean_pages_evicted_before_dirty() {
+        let mut c = cache(2);
+        c.write(Lpn(0), t(0));
+        c.flusher_tick(t(31)); // Lpn(0) now clean
+        c.write(Lpn(1), t(32));
+        let effect = c.write(Lpn(2), t(33));
+        assert!(effect.forced_writebacks.is_empty());
+        assert!(!c.contains(Lpn(0)), "clean page evicted silently");
+        assert_eq!(c.stats().clean_evictions, 1);
+    }
+
+    #[test]
+    fn read_hit_and_miss() {
+        let mut c = cache(4);
+        c.write(Lpn(1), t(0));
+        assert!(c.read(Lpn(1), t(1)));
+        assert!(!c.read(Lpn(2), t(2)));
+        // Miss cached the page clean.
+        assert!(c.contains(Lpn(2)));
+        assert!(!c.is_dirty(Lpn(2)));
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn read_miss_on_all_dirty_cache_does_not_evict() {
+        let mut c = cache(2);
+        c.write(Lpn(0), t(0));
+        c.write(Lpn(1), t(1));
+        assert!(!c.read(Lpn(2), t(2)));
+        assert!(!c.contains(Lpn(2)), "no room without evicting dirty data");
+        assert_eq!(c.dirty_count(), 2);
+    }
+
+    #[test]
+    fn lru_clean_eviction_order_respects_recency() {
+        let mut c = cache(3);
+        c.write(Lpn(0), t(0));
+        c.write(Lpn(1), t(1));
+        c.flusher_tick(t(40)); // both clean
+        // Touch Lpn(0) so Lpn(1) becomes LRU.
+        assert!(c.read(Lpn(0), t(41)));
+        c.write(Lpn(2), t(42));
+        c.write(Lpn(3), t(43)); // must evict clean LRU = Lpn(1)
+        assert!(c.contains(Lpn(0)));
+        assert!(!c.contains(Lpn(1)));
+    }
+
+    #[test]
+    fn dirty_pages_scan_is_oldest_first() {
+        let mut c = cache(8);
+        c.write(Lpn(3), t(2));
+        c.write(Lpn(1), t(1));
+        c.write(Lpn(2), t(3));
+        let scan: Vec<(Lpn, SimTime)> = c.dirty_pages().collect();
+        assert_eq!(
+            scan,
+            vec![(Lpn(1), t(1)), (Lpn(3), t(2)), (Lpn(2), t(3))]
+        );
+    }
+
+    #[test]
+    fn flush_exactly_at_expiry_boundary() {
+        let mut c = cache(8);
+        c.write(Lpn(1), t(0));
+        // age == τ_expire counts as expired ("older than" is inclusive at
+        // flusher granularity, matching the paper's Fig. 4 where pages
+        // expire at the first wake-up at or after their deadline).
+        let batch = c.flusher_tick(t(30));
+        assert_eq!(batch.lpns, vec![Lpn(1)]);
+    }
+
+    #[test]
+    fn same_timestamp_writes_flush_in_write_order() {
+        let mut c = cache(8);
+        c.write(Lpn(9), t(0));
+        c.write(Lpn(4), t(0));
+        c.write(Lpn(7), t(0));
+        let batch = c.flusher_tick(t(30));
+        assert_eq!(batch.lpns, vec![Lpn(9), Lpn(4), Lpn(7)]);
+    }
+
+    #[test]
+    fn stats_total_writebacks() {
+        let mut c = cache(2);
+        c.write(Lpn(0), t(0));
+        c.write(Lpn(1), t(1));
+        c.write(Lpn(2), t(2)); // forced
+        c.flusher_tick(t(40)); // expiry flushes
+        assert_eq!(
+            c.stats().total_writebacks(),
+            c.stats().forced_writebacks + c.stats().flushed_expired
+        );
+        assert!(c.stats().total_writebacks() >= 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic simulation kernel for the JIT-GC SSD simulator.
+//!
+//! This crate provides the foundational building blocks shared by every other
+//! crate in the workspace:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond simulated time, so
+//!   every run is exactly reproducible (no floating-point clock drift).
+//! * [`ByteSize`] — a byte-count newtype with KiB/MiB/GiB constructors.
+//! * [`EventQueue`] — a deterministic priority queue of timestamped events
+//!   with stable FIFO ordering among equal timestamps.
+//! * [`SimRng`] and [`Zipf`] — seeded randomness and the skewed-access
+//!   sampler used by the workload generators.
+//! * [`stats`] — histograms, the cumulative data histogram (CDH) used by the
+//!   paper's direct-write predictor, EWMA bandwidth estimation, and online
+//!   latency statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use jitgc_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::from_secs(5), "flusher tick");
+//! queue.push(SimTime::from_secs(1), "request arrival");
+//! let (when, what) = queue.pop().expect("queue is non-empty");
+//! assert_eq!(when, SimTime::from_secs(1));
+//! assert_eq!(what, "request arrival");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bytes;
+mod event;
+mod rng;
+mod time;
+
+pub mod stats;
+
+pub use bytes::ByteSize;
+pub use event::EventQueue;
+pub use rng::{SimRng, Zipf};
+pub use time::{SimDuration, SimTime};

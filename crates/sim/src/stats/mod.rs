@@ -1,0 +1,22 @@
+//! Statistics primitives used across the simulator.
+//!
+//! * [`Histogram`] — fixed-bin-width frequency histogram (paper Fig. 5(a)).
+//! * [`Cdh`] — the **cumulative data histogram** the direct-write predictor
+//!   builds over past write-back windows (paper Fig. 5(b), Sec. 3.2.2).
+//! * [`Ewma`] — exponentially-weighted moving average, used for the
+//!   `B_w`/`B_gc` bandwidth estimates the JIT-GC manager needs.
+//! * [`LatencyRecorder`] — log-bucketed latency histogram with percentile
+//!   queries (p50/p99/p999 reporting beyond the paper's IOPS aggregate).
+//! * [`RunningStats`] — Welford mean/variance, used for wear-leveling spread.
+
+mod cdh;
+mod ewma;
+mod histogram;
+mod latency;
+mod running;
+
+pub use cdh::Cdh;
+pub use ewma::Ewma;
+pub use histogram::Histogram;
+pub use latency::LatencyRecorder;
+pub use running::RunningStats;

@@ -1,0 +1,138 @@
+//! Bursty arrival-process model.
+
+use jitgc_sim::{SimDuration, SimRng};
+
+/// Generates think-time gaps forming bursts separated by idle periods.
+///
+/// Real applications do not issue I/O at a constant rate: they compute,
+/// then flood the device, then go quiet. Those quiet periods are exactly
+/// where background GC hides, so the arrival model matters for every
+/// experiment in the paper.
+///
+/// Within a burst, gaps are exponential with a small mean (`intra_mean`);
+/// between bursts the idle gap mean is derived so the long-run request
+/// rate matches the configured IOPS:
+///
+/// ```text
+/// mean_gap = 1e6 / iops
+/// idle_mean = burst_mean × mean_gap − (burst_mean − 1) × intra_mean
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use jitgc_sim::SimRng;
+/// use jitgc_workload::ArrivalProcess;
+///
+/// let mut arrivals = ArrivalProcess::new(1_000.0, 16.0);
+/// let mut rng = SimRng::seed(3);
+/// let gap = arrivals.next_gap(&mut rng);
+/// assert!(gap.as_micros() >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    intra_mean_us: f64,
+    idle_mean_us: f64,
+    burst_mean: f64,
+    burst_remaining: u64,
+}
+
+impl ArrivalProcess {
+    /// Default intra-burst gap mean: 50 µs (queue-depth-ish pipelining).
+    const INTRA_MEAN_US: f64 = 50.0;
+
+    /// Creates a process targeting `iops` requests/second with mean burst
+    /// length `burst_mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `iops > 0` and `burst_mean ≥ 1`.
+    #[must_use]
+    pub fn new(iops: f64, burst_mean: f64) -> Self {
+        assert!(iops.is_finite() && iops > 0.0, "iops must be positive");
+        assert!(
+            burst_mean.is_finite() && burst_mean >= 1.0,
+            "burst mean must be at least 1"
+        );
+        let mean_gap = 1e6 / iops;
+        let intra = Self::INTRA_MEAN_US.min(mean_gap);
+        let idle = (burst_mean * mean_gap - (burst_mean - 1.0) * intra).max(intra);
+        ArrivalProcess {
+            intra_mean_us: intra,
+            idle_mean_us: idle,
+            burst_mean,
+            burst_remaining: 0,
+        }
+    }
+
+    /// Draws the next think-time gap.
+    pub fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration {
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            SimDuration::from_micros(rng.exp_micros(self.intra_mean_us))
+        } else {
+            self.burst_remaining = rng.burst_len(self.burst_mean).saturating_sub(1);
+            SimDuration::from_micros(rng.exp_micros(self.idle_mean_us))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_run_rate_matches_target() {
+        let mut arrivals = ArrivalProcess::new(2_000.0, 32.0);
+        let mut rng = SimRng::seed(5);
+        let n = 200_000u64;
+        let total: SimDuration = (0..n).map(|_| arrivals.next_gap(&mut rng)).sum();
+        let rate = n as f64 / total.as_secs_f64();
+        assert!(
+            (rate - 2_000.0).abs() / 2_000.0 < 0.05,
+            "observed rate {rate}"
+        );
+    }
+
+    #[test]
+    fn bursts_create_bimodal_gaps() {
+        let mut arrivals = ArrivalProcess::new(1_000.0, 32.0);
+        let mut rng = SimRng::seed(7);
+        let gaps: Vec<u64> = (0..50_000)
+            .map(|_| arrivals.next_gap(&mut rng).as_micros())
+            .collect();
+        let small = gaps.iter().filter(|&&g| g < 500).count();
+        let large = gaps.iter().filter(|&&g| g > 5_000).count();
+        assert!(small > 30_000, "intra-burst gaps missing: {small}");
+        assert!(large > 500, "idle gaps missing: {large}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = |seed| {
+            let mut a = ArrivalProcess::new(500.0, 8.0);
+            let mut rng = SimRng::seed(seed);
+            (0..100)
+                .map(|_| a.next_gap(&mut rng).as_micros())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(1), gen(1));
+        assert_ne!(gen(1), gen(2));
+    }
+
+    #[test]
+    fn burst_mean_one_is_pure_poisson() {
+        let mut arrivals = ArrivalProcess::new(1_000.0, 1.0);
+        let mut rng = SimRng::seed(11);
+        let n = 50_000u64;
+        let total: SimDuration = (0..n).map(|_| arrivals.next_gap(&mut rng)).sum();
+        let rate = n as f64 / total.as_secs_f64();
+        assert!((rate - 1_000.0).abs() / 1_000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "iops must be positive")]
+    fn zero_iops_panics() {
+        let _ = ArrivalProcess::new(0.0, 4.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Bonnie++ personality (sequential throughput + seek phases).
+
+use super::Base;
+use crate::{IoKind, IoRequest, Workload, WorkloadConfig, WriteMix};
+use jitgc_nand::Lpn;
+
+/// Bonnie++ — a filesystem micro-benchmark cycling through distinct
+/// phases.
+///
+/// Personality reproduced:
+///
+/// * Four phases, each sweeping the working set once before the next
+///   begins: **sequential write**, **sequential rewrite**, **sequential
+///   read**, **random seeks** (small scattered read-modify-writes).
+/// * Phase structure makes traffic *regime-switching*: long all-write
+///   stretches then long all-read stretches — a stress test for the CDH
+///   direct-write predictor, which must adapt its window.
+/// * Writes are **72.4 % buffered / 27.6 % direct** (paper Table 1);
+///   Bonnie++ fsyncs at chunk boundaries.
+#[derive(Debug)]
+pub struct Bonnie {
+    base: Base,
+    phase: Phase,
+    cursor: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    SeqWrite,
+    SeqRewrite,
+    SeqRead,
+    RandomSeeks,
+}
+
+impl Phase {
+    fn next(self) -> Phase {
+        match self {
+            Phase::SeqWrite => Phase::SeqRewrite,
+            Phase::SeqRewrite => Phase::SeqRead,
+            Phase::SeqRead => Phase::RandomSeeks,
+            Phase::RandomSeeks => Phase::SeqWrite,
+        }
+    }
+}
+
+/// Pages per sequential chunk.
+const CHUNK_PAGES: u32 = 8;
+
+impl Bonnie {
+    /// Paper Table 1: fraction of written pages that are buffered.
+    pub const BUFFERED_FRACTION: f64 = 0.724;
+    /// Seek-phase operations per working-set sweep (relative to the
+    /// sequential phases' chunk count).
+    const SEEKS_PER_SWEEP_FACTOR: u64 = 1;
+
+    /// Creates the generator.
+    #[must_use]
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        Bonnie {
+            base: Base::new(cfg),
+            phase: Phase::SeqWrite,
+            cursor: 0,
+        }
+    }
+
+    fn sweep_len(&self) -> u64 {
+        let chunks = self.base.cfg.working_set_pages() / u64::from(CHUNK_PAGES);
+        chunks.max(1)
+    }
+
+    fn advance_cursor(&mut self) {
+        self.cursor += 1;
+        let limit = match self.phase {
+            Phase::RandomSeeks => self.sweep_len() * Self::SEEKS_PER_SWEEP_FACTOR,
+            _ => self.sweep_len(),
+        };
+        if self.cursor >= limit {
+            self.cursor = 0;
+            self.phase = self.phase.next();
+        }
+    }
+
+    fn write_kind(&mut self) -> IoKind {
+        if self.base.rng.chance(1.0 - Self::BUFFERED_FRACTION) {
+            IoKind::DirectWrite
+        } else {
+            IoKind::BufferedWrite
+        }
+    }
+}
+
+impl Workload for Bonnie {
+    fn name(&self) -> &'static str {
+        "Bonnie++"
+    }
+
+    fn write_mix(&self) -> WriteMix {
+        WriteMix::new(Self::BUFFERED_FRACTION)
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        self.base.cfg.working_set_pages()
+    }
+
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let gap = self.base.next_gap()?;
+        let seq_start = self.cursor * u64::from(CHUNK_PAGES);
+        let req = match self.phase {
+            Phase::SeqWrite | Phase::SeqRewrite => IoRequest {
+                gap,
+                kind: self.write_kind(),
+                lpn: Lpn(seq_start),
+                pages: CHUNK_PAGES,
+            },
+            Phase::SeqRead => IoRequest {
+                gap,
+                kind: IoKind::Read,
+                lpn: Lpn(seq_start),
+                pages: CHUNK_PAGES,
+            },
+            Phase::RandomSeeks => {
+                let lpn = self.base.uniform_start(1);
+                // Bonnie's seek test reads a block and rewrites ~10 % of them.
+                if self.base.rng.chance(0.1) {
+                    IoRequest {
+                        gap,
+                        kind: self.write_kind(),
+                        lpn: Lpn(lpn),
+                        pages: 1,
+                    }
+                } else {
+                    IoRequest {
+                        gap,
+                        kind: IoKind::Read,
+                        lpn: Lpn(lpn),
+                        pages: 1,
+                    }
+                }
+            }
+        };
+        self.advance_cursor();
+        Some(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::testutil::{assert_deterministic, assert_mix, small_config};
+
+    #[test]
+    fn mix_matches_table1() {
+        let mut w = Bonnie::new(small_config(1));
+        assert_mix(&mut w, 0.04);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_deterministic(|| Box::new(Bonnie::new(small_config(6))));
+    }
+
+    #[test]
+    fn phases_cycle_in_order() {
+        let cfg = small_config(2);
+        let mut w = Bonnie::new(cfg);
+        let sweep = w.sweep_len();
+        // Drain one full write sweep: all requests must be writes.
+        for _ in 0..sweep {
+            let req = w.next_request().expect("within duration");
+            assert!(req.kind.is_write(), "seq-write phase emitted {:?}", req.kind);
+        }
+        // Next sweep is the rewrite phase (also writes), then reads.
+        for _ in 0..sweep {
+            let req = w.next_request().expect("within duration");
+            assert!(req.kind.is_write());
+        }
+        let req = w.next_request().expect("within duration");
+        assert_eq!(req.kind, IoKind::Read, "seq-read phase must follow");
+    }
+
+    #[test]
+    fn sequential_phases_are_sequential() {
+        let mut w = Bonnie::new(small_config(3));
+        let mut prev_end = 0u64;
+        for i in 0..w.sweep_len() {
+            let req = w.next_request().expect("within duration");
+            if i > 0 {
+                assert_eq!(req.lpn.0, prev_end, "chunks must be contiguous");
+            }
+            prev_end = req.lpn.0 + u64::from(req.pages);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Filebench file-server personality.
+
+use super::Base;
+use crate::{IoKind, IoRequest, Workload, WorkloadConfig, WriteMix};
+use jitgc_nand::Lpn;
+
+/// Filebench's `fileserver` profile — whole-file reads and writes of
+/// medium-sized files.
+///
+/// Personality reproduced:
+///
+/// * The working set is divided into 16-page file extents; operations read
+///   or rewrite whole extents (with some partial appends), like an NFS/SMB
+///   file server.
+/// * Balanced read/write (50/50 requests); writes are **85.8 % buffered /
+///   14.2 % direct** (paper Table 1) — the direct share models synchronous
+///   metadata/journal updates.
+/// * Moderate locality (Zipf-free, hot directory subset): a 30 % slice of
+///   extents takes 60 % of operations.
+#[derive(Debug)]
+pub struct Filebench {
+    base: Base,
+    extents: u64,
+}
+
+/// Pages per file extent.
+const EXTENT_PAGES: u64 = 16;
+
+impl Filebench {
+    /// Paper Table 1: fraction of written pages that are buffered.
+    pub const BUFFERED_FRACTION: f64 = 0.858;
+    /// Fraction of requests that read.
+    const READ_FRACTION: f64 = 0.5;
+    /// Hot-slice size and probability.
+    const HOT_FRACTION: f64 = 0.3;
+    const HOT_PROBABILITY: f64 = 0.6;
+
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set is smaller than one extent.
+    #[must_use]
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let extents = cfg.working_set_pages() / EXTENT_PAGES;
+        assert!(extents > 0, "working set smaller than one filebench extent");
+        Filebench {
+            base: Base::new(cfg),
+            extents,
+        }
+    }
+
+    fn pick_extent(&mut self) -> u64 {
+        let hot = ((self.extents as f64 * Self::HOT_FRACTION) as u64).max(1);
+        if self.base.rng.chance(Self::HOT_PROBABILITY) {
+            self.base.rng.range_u64(0, hot)
+        } else {
+            self.base.rng.range_u64(0, self.extents)
+        }
+    }
+}
+
+impl Workload for Filebench {
+    fn name(&self) -> &'static str {
+        "Filebench"
+    }
+
+    fn write_mix(&self) -> WriteMix {
+        WriteMix::new(Self::BUFFERED_FRACTION)
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        self.base.cfg.working_set_pages()
+    }
+
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let gap = self.base.next_gap()?;
+        let extent = self.pick_extent();
+        let start = extent * EXTENT_PAGES;
+        if self.base.rng.chance(Self::READ_FRACTION) {
+            return Some(IoRequest {
+                gap,
+                kind: IoKind::Read,
+                lpn: Lpn(start),
+                pages: EXTENT_PAGES as u32,
+            });
+        }
+        // Whole-file rewrite (75 %) or partial append (25 %).
+        let pages = if self.base.rng.chance(0.75) {
+            EXTENT_PAGES as u32
+        } else {
+            1 + self.base.rng.range_u64(0, EXTENT_PAGES / 2) as u32
+        };
+        let kind = if self.base.rng.chance(1.0 - Self::BUFFERED_FRACTION) {
+            IoKind::DirectWrite
+        } else {
+            IoKind::BufferedWrite
+        };
+        Some(IoRequest {
+            gap,
+            kind,
+            lpn: Lpn(start),
+            pages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::testutil::{assert_deterministic, assert_mix, small_config};
+
+    #[test]
+    fn mix_matches_table1() {
+        let mut w = Filebench::new(small_config(1));
+        assert_mix(&mut w, 0.04);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_deterministic(|| Box::new(Filebench::new(small_config(5))));
+    }
+
+    #[test]
+    fn operations_are_extent_aligned() {
+        let mut w = Filebench::new(small_config(2));
+        for _ in 0..5_000 {
+            let Some(req) = w.next_request() else { break };
+            assert_eq!(req.lpn.0 % EXTENT_PAGES, 0);
+            assert!(u64::from(req.pages) <= EXTENT_PAGES);
+        }
+    }
+
+    #[test]
+    fn whole_file_writes_dominate() {
+        let mut w = Filebench::new(small_config(3));
+        let mut whole = 0u64;
+        let mut partial = 0u64;
+        while let Some(req) = w.next_request() {
+            if req.kind.is_write() {
+                if u64::from(req.pages) == EXTENT_PAGES {
+                    whole += 1;
+                } else {
+                    partial += 1;
+                }
+            }
+        }
+        assert!(whole > partial, "whole-file rewrites should dominate");
+    }
+}

@@ -1,0 +1,135 @@
+//! The six benchmark personalities.
+
+mod bonnie;
+mod filebench;
+mod postmark;
+mod synthetic;
+mod tiobench;
+mod tpcc;
+mod ycsb;
+
+pub use bonnie::Bonnie;
+pub use filebench::Filebench;
+pub use postmark::Postmark;
+pub use synthetic::{Synthetic, SyntheticBuilder};
+pub use tiobench::Tiobench;
+pub use tpcc::TpcC;
+pub use ycsb::Ycsb;
+
+use crate::{ArrivalProcess, WorkloadConfig};
+use jitgc_sim::{SimDuration, SimRng};
+
+/// Shared generator plumbing: config, RNG, arrivals, and the think-time
+/// clock that bounds the workload's duration.
+#[derive(Debug)]
+pub(crate) struct Base {
+    pub cfg: WorkloadConfig,
+    pub rng: SimRng,
+    arrival: ArrivalProcess,
+    clock: SimDuration,
+}
+
+impl Base {
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let mut rng = SimRng::seed(cfg.seed());
+        let arrival = ArrivalProcess::new(cfg.mean_iops(), cfg.burst_mean());
+        // Fork so that arrival sampling and op sampling do not interleave
+        // their randomness (keeps op streams stable under arrival tweaks).
+        let rng = rng.fork(1);
+        Base {
+            cfg,
+            rng,
+            arrival,
+            clock: SimDuration::ZERO,
+        }
+    }
+
+    /// Draws the next think-time gap, or `None` once the configured
+    /// duration is exhausted.
+    pub fn next_gap(&mut self) -> Option<SimDuration> {
+        if self.clock >= self.cfg.duration() {
+            return None;
+        }
+        let gap = self.arrival.next_gap(&mut self.rng);
+        self.clock += gap;
+        Some(gap)
+    }
+
+    /// Uniform page offset in `[0, working_set)` minus `span`, so a
+    /// `span`-page extent starting there stays in bounds.
+    pub fn uniform_start(&mut self, span: u32) -> u64 {
+        let ws = self.cfg.working_set_pages();
+        let limit = ws.saturating_sub(u64::from(span)).max(1);
+        self.rng.range_u64(0, limit)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared assertions run against every generator.
+
+    use crate::{IoKind, Workload, WorkloadConfig};
+    use jitgc_sim::SimDuration;
+
+    pub fn small_config(seed: u64) -> WorkloadConfig {
+        WorkloadConfig::builder()
+            .working_set_pages(2_048)
+            .duration(SimDuration::from_secs(20))
+            .mean_iops(2_000.0)
+            .burst_mean(16.0)
+            .seed(seed)
+            .build()
+    }
+
+    /// Drains the workload, checking bounds, and returns
+    /// (buffered_pages, direct_pages, read_pages, trim_pages).
+    pub fn drain_and_count(w: &mut dyn Workload) -> (u64, u64, u64, u64) {
+        let ws = w.working_set_pages();
+        let (mut b, mut d, mut r, mut t) = (0u64, 0u64, 0u64, 0u64);
+        let mut total = 0u64;
+        while let Some(req) = w.next_request() {
+            total += 1;
+            assert!(req.pages >= 1, "empty request");
+            assert!(
+                req.lpn.0 + u64::from(req.pages) <= ws,
+                "request escapes working set: lpn={} pages={} ws={ws}",
+                req.lpn.0,
+                req.pages
+            );
+            let pages = u64::from(req.pages);
+            match req.kind {
+                IoKind::BufferedWrite => b += pages,
+                IoKind::DirectWrite => d += pages,
+                IoKind::Read => r += pages,
+                IoKind::Trim => t += pages,
+            }
+        }
+        assert!(total > 1_000, "workload too short: {total} requests");
+        (b, d, r, t)
+    }
+
+    /// Asserts the measured buffered fraction of write pages is within
+    /// `tol` of the generator's configured mix.
+    pub fn assert_mix(w: &mut dyn Workload, tol: f64) {
+        let expected = w.write_mix().buffered_fraction;
+        let (b, d, _, _) = drain_and_count(w);
+        let measured = b as f64 / (b + d) as f64;
+        assert!(
+            (measured - expected).abs() < tol,
+            "{}: measured buffered fraction {measured:.3}, configured {expected:.3}",
+            w.name()
+        );
+    }
+
+    /// Asserts two same-seed instances produce identical streams.
+    pub fn assert_deterministic<F>(make: F)
+    where
+        F: Fn() -> Box<dyn Workload>,
+    {
+        let mut a = make();
+        let mut b = make();
+        for _ in 0..2_000 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Postmark personality (mail-server small-file churn).
+
+use super::Base;
+use crate::{IoKind, IoRequest, Workload, WorkloadConfig, WriteMix};
+use jitgc_nand::Lpn;
+
+/// Postmark — small-file create/append/read/delete churn, as in a mail
+/// spool.
+///
+/// Personality reproduced:
+///
+/// * The working set is divided into 8-page "file slots". Operations are
+///   create (write a fresh slot), append (write the tail of a slot), read
+///   (a slot), delete (TRIM a slot — our extension; Postmark deletes
+///   thousands of files).
+/// * Write-heavy: ~70 % of requests write. Deliveries `fsync` the message
+///   (direct); most traffic is buffered — **81.7 % buffered / 18.3 %
+///   direct** (paper Table 1).
+/// * Churn concentrated on a hot subset of slots (recently created files
+///   die young), feeding SIP filtering (20.6 % in the paper's Table 3,
+///   the highest of the six).
+#[derive(Debug)]
+pub struct Postmark {
+    base: Base,
+    slots: u64,
+}
+
+/// Pages per file slot.
+const SLOT_PAGES: u64 = 8;
+
+impl Postmark {
+    /// Paper Table 1: fraction of written pages that are buffered.
+    pub const BUFFERED_FRACTION: f64 = 0.817;
+    /// Fraction of requests that read.
+    const READ_FRACTION: f64 = 0.25;
+    /// Fraction of requests that delete (TRIM) a slot.
+    const DELETE_FRACTION: f64 = 0.05;
+    /// Fraction of the slot space holding "hot" young files.
+    const HOT_FRACTION: f64 = 0.25;
+    /// Probability an operation targets the hot subset.
+    const HOT_PROBABILITY: f64 = 0.75;
+
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set is smaller than one file slot.
+    #[must_use]
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let slots = cfg.working_set_pages() / SLOT_PAGES;
+        assert!(slots > 0, "working set smaller than one postmark file slot");
+        Postmark {
+            base: Base::new(cfg),
+            slots,
+        }
+    }
+
+    fn pick_slot(&mut self) -> u64 {
+        let hot_slots = ((self.slots as f64 * Self::HOT_FRACTION) as u64).max(1);
+        if self.base.rng.chance(Self::HOT_PROBABILITY) {
+            self.base.rng.range_u64(0, hot_slots)
+        } else {
+            self.base.rng.range_u64(0, self.slots)
+        }
+    }
+}
+
+impl Workload for Postmark {
+    fn name(&self) -> &'static str {
+        "Postmark"
+    }
+
+    fn write_mix(&self) -> WriteMix {
+        WriteMix::new(Self::BUFFERED_FRACTION)
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        self.base.cfg.working_set_pages()
+    }
+
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let gap = self.base.next_gap()?;
+        let slot = self.pick_slot();
+        let slot_start = slot * SLOT_PAGES;
+        let roll = self.base.rng.unit_f64();
+        if roll < Self::DELETE_FRACTION {
+            return Some(IoRequest {
+                gap,
+                kind: IoKind::Trim,
+                lpn: Lpn(slot_start),
+                pages: SLOT_PAGES as u32,
+            });
+        }
+        if roll < Self::DELETE_FRACTION + Self::READ_FRACTION {
+            let pages = 1 + self.base.rng.range_u64(0, SLOT_PAGES) as u32;
+            return Some(IoRequest {
+                gap,
+                kind: IoKind::Read,
+                lpn: Lpn(slot_start),
+                pages,
+            });
+        }
+        // Create or append: write 1..=SLOT_PAGES pages at the slot head.
+        let pages = 1 + self.base.rng.range_u64(0, SLOT_PAGES) as u32;
+        let kind = if self.base.rng.chance(1.0 - Self::BUFFERED_FRACTION) {
+            IoKind::DirectWrite
+        } else {
+            IoKind::BufferedWrite
+        };
+        Some(IoRequest {
+            gap,
+            kind,
+            lpn: Lpn(slot_start),
+            pages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::testutil::{assert_deterministic, assert_mix, drain_and_count,
+                                      small_config};
+
+    #[test]
+    fn mix_matches_table1() {
+        let mut w = Postmark::new(small_config(1));
+        assert_mix(&mut w, 0.03);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_deterministic(|| Box::new(Postmark::new(small_config(9))));
+    }
+
+    #[test]
+    fn deletes_emit_trims() {
+        let mut w = Postmark::new(small_config(2));
+        let (_, _, _, trims) = drain_and_count(&mut w);
+        assert!(trims > 0, "postmark must delete files");
+    }
+
+    #[test]
+    fn requests_are_slot_aligned() {
+        let mut w = Postmark::new(small_config(3));
+        for _ in 0..5_000 {
+            let Some(req) = w.next_request() else { break };
+            assert_eq!(req.lpn.0 % SLOT_PAGES, 0, "not slot aligned");
+            assert!(u64::from(req.pages) <= SLOT_PAGES);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one postmark file slot")]
+    fn tiny_working_set_panics() {
+        let cfg = WorkloadConfig::builder().working_set_pages(4).build();
+        let _ = Postmark::new(cfg);
+    }
+}

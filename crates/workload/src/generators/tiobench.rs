@@ -1,0 +1,165 @@
+//! Tiobench personality (multi-threaded mixed I/O).
+
+use super::Base;
+use crate::{IoKind, IoRequest, Workload, WorkloadConfig, WriteMix};
+use jitgc_nand::Lpn;
+
+/// Tiobench — a threaded I/O benchmark mixing sequential and random
+/// access from several concurrent workers.
+///
+/// Personality reproduced:
+///
+/// * Four simulated threads round-robin; each owns a quarter of the
+///   working set and alternates between a sequential scan position and
+///   random offsets inside its territory.
+/// * Slightly write-heavy (60 % writes) with **46.3 % buffered / 53.7 %
+///   direct** (paper Table 1) — Tiobench is commonly run with `O_DIRECT`
+///   threads, making over half the traffic invisible to the page cache.
+///   This is where JIT-GC's buffered predictor starts losing its edge
+///   (Fig. 7).
+#[derive(Debug)]
+pub struct Tiobench {
+    base: Base,
+    cursors: [u64; THREADS],
+    turn: usize,
+}
+
+const THREADS: usize = 4;
+/// Pages per request.
+const IO_PAGES: u32 = 4;
+
+impl Tiobench {
+    /// Paper Table 1: fraction of written pages that are buffered.
+    pub const BUFFERED_FRACTION: f64 = 0.463;
+    /// Fraction of requests that read.
+    const READ_FRACTION: f64 = 0.4;
+    /// Probability a thread does its sequential scan rather than a random
+    /// offset.
+    const SEQUENTIAL_PROBABILITY: f64 = 0.5;
+
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set cannot give each thread at least one
+    /// request's worth of pages.
+    #[must_use]
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let per_thread = cfg.working_set_pages() / THREADS as u64;
+        assert!(
+            per_thread >= u64::from(IO_PAGES),
+            "working set too small for {THREADS} tiobench threads"
+        );
+        Tiobench {
+            base: Base::new(cfg),
+            cursors: [0; THREADS],
+            turn: 0,
+        }
+    }
+
+    fn territory(&self, thread: usize) -> (u64, u64) {
+        let per_thread = self.base.cfg.working_set_pages() / THREADS as u64;
+        let start = thread as u64 * per_thread;
+        (start, per_thread)
+    }
+}
+
+impl Workload for Tiobench {
+    fn name(&self) -> &'static str {
+        "Tiobench"
+    }
+
+    fn write_mix(&self) -> WriteMix {
+        WriteMix::new(Self::BUFFERED_FRACTION)
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        self.base.cfg.working_set_pages()
+    }
+
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let gap = self.base.next_gap()?;
+        let thread = self.turn;
+        self.turn = (self.turn + 1) % THREADS;
+        let (start, len) = self.territory(thread);
+        let slots = len / u64::from(IO_PAGES);
+
+        let offset = if self.base.rng.chance(Self::SEQUENTIAL_PROBABILITY) {
+            let c = self.cursors[thread];
+            self.cursors[thread] = (c + 1) % slots;
+            c * u64::from(IO_PAGES)
+        } else {
+            self.base.rng.range_u64(0, slots) * u64::from(IO_PAGES)
+        };
+        let lpn = Lpn(start + offset);
+
+        let kind = if self.base.rng.chance(Self::READ_FRACTION) {
+            IoKind::Read
+        } else if self.base.rng.chance(1.0 - Self::BUFFERED_FRACTION) {
+            IoKind::DirectWrite
+        } else {
+            IoKind::BufferedWrite
+        };
+        Some(IoRequest {
+            gap,
+            kind,
+            lpn,
+            pages: IO_PAGES,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::testutil::{assert_deterministic, assert_mix, small_config};
+
+    #[test]
+    fn mix_matches_table1() {
+        let mut w = Tiobench::new(small_config(1));
+        assert_mix(&mut w, 0.04);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_deterministic(|| Box::new(Tiobench::new(small_config(8))));
+    }
+
+    #[test]
+    fn threads_round_robin_in_their_territory() {
+        let mut w = Tiobench::new(small_config(2));
+        let ws = w.working_set_pages();
+        let per_thread = ws / THREADS as u64;
+        for i in 0..4_000 {
+            let Some(req) = w.next_request() else { break };
+            let thread = i % THREADS;
+            let start = thread as u64 * per_thread;
+            assert!(
+                req.lpn.0 >= start && req.lpn.0 + u64::from(req.pages) <= start + per_thread,
+                "thread {thread} escaped its territory: lpn {}",
+                req.lpn.0
+            );
+        }
+    }
+
+    #[test]
+    fn direct_writes_dominate_writes() {
+        let mut w = Tiobench::new(small_config(3));
+        let (mut buffered, mut direct) = (0u64, 0u64);
+        while let Some(req) = w.next_request() {
+            match req.kind {
+                IoKind::BufferedWrite => buffered += u64::from(req.pages),
+                IoKind::DirectWrite => direct += u64::from(req.pages),
+                _ => {}
+            }
+        }
+        assert!(direct > buffered, "tiobench is majority-direct");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_working_set_panics() {
+        let cfg = WorkloadConfig::builder().working_set_pages(8).build();
+        let _ = Tiobench::new(cfg);
+    }
+}

@@ -1,0 +1,160 @@
+//! TPC-C personality (OLTP on MySQL/InnoDB).
+
+use super::Base;
+use crate::{IoKind, IoRequest, Workload, WorkloadConfig, WriteMix};
+use jitgc_nand::Lpn;
+use jitgc_sim::Zipf;
+
+/// TPC-C running on MySQL — the paper's pure-OLTP workload.
+///
+/// Personality reproduced:
+///
+/// * InnoDB manages its own buffer pool and opens its tablespace with
+///   `O_DIRECT`: **99.9 % of written pages are direct** (paper Table 1).
+///   The page cache sees essentially nothing, which is why TPC-C is
+///   JIT-GC's worst case (72.5 % prediction accuracy, lowest IOPS gain,
+///   1.1 % SIP filtering in the paper).
+/// * Small (1–2 page) random writes over a Zipf(0.9) hot set — the NEW-ORDER
+///   / PAYMENT update pattern — plus a sequential redo-log stream in a
+///   dedicated region (also direct).
+/// * 40 % reads (buffer-pool misses).
+#[derive(Debug)]
+pub struct TpcC {
+    base: Base,
+    zipf: Zipf,
+    log_cursor: u64,
+    log_pages: u64,
+}
+
+impl TpcC {
+    /// Paper Table 1: fraction of written pages that are buffered.
+    pub const BUFFERED_FRACTION: f64 = 0.001;
+    /// Fraction of requests that read.
+    const READ_FRACTION: f64 = 0.4;
+    /// Fraction of writes going to the redo log.
+    const LOG_WRITE_FRACTION: f64 = 0.3;
+    /// Zipf skew of table-page updates.
+    const SKEW: f64 = 0.9;
+
+    /// Creates the generator.
+    #[must_use]
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let zipf = Zipf::new(cfg.working_set_pages(), Self::SKEW);
+        let log_pages = (cfg.working_set_pages() / 64).max(1);
+        TpcC {
+            base: Base::new(cfg),
+            zipf,
+            log_cursor: 0,
+            log_pages,
+        }
+    }
+
+    fn table_page(&mut self, span: u32) -> u64 {
+        let ws = self.base.cfg.working_set_pages();
+        let rank = self.zipf.sample(&mut self.base.rng);
+        (rank.wrapping_mul(2_654_435_761) % ws).min(ws.saturating_sub(u64::from(span)))
+    }
+}
+
+impl Workload for TpcC {
+    fn name(&self) -> &'static str {
+        "TPC-C"
+    }
+
+    fn write_mix(&self) -> WriteMix {
+        WriteMix::new(Self::BUFFERED_FRACTION)
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        self.base.cfg.working_set_pages()
+    }
+
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let gap = self.base.next_gap()?;
+        if self.base.rng.chance(Self::READ_FRACTION) {
+            let pages = 1 + self.base.rng.range_u64(0, 2) as u32;
+            let lpn = self.table_page(pages);
+            return Some(IoRequest {
+                gap,
+                kind: IoKind::Read,
+                lpn: Lpn(lpn),
+                pages,
+            });
+        }
+        let kind = if self.base.rng.chance(Self::BUFFERED_FRACTION) {
+            IoKind::BufferedWrite
+        } else {
+            IoKind::DirectWrite
+        };
+        if self.base.rng.chance(Self::LOG_WRITE_FRACTION) {
+            // Redo-log append.
+            let lpn = self.log_cursor;
+            self.log_cursor = (self.log_cursor + 1) % self.log_pages;
+            Some(IoRequest {
+                gap,
+                kind,
+                lpn: Lpn(lpn),
+                pages: 1,
+            })
+        } else {
+            // Random table-page update.
+            let pages = 1 + self.base.rng.range_u64(0, 2) as u32;
+            let lpn = self.table_page(pages);
+            Some(IoRequest {
+                gap,
+                kind,
+                lpn: Lpn(lpn),
+                pages,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::testutil::{assert_deterministic, drain_and_count, small_config};
+
+    #[test]
+    fn writes_are_almost_all_direct() {
+        let mut w = TpcC::new(small_config(1));
+        let (buffered, direct, _, _) = drain_and_count(&mut w);
+        let frac = buffered as f64 / (buffered + direct) as f64;
+        assert!(frac < 0.01, "buffered fraction {frac} should be ≈ 0.001");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_deterministic(|| Box::new(TpcC::new(small_config(4))));
+    }
+
+    #[test]
+    fn reads_present() {
+        let mut w = TpcC::new(small_config(2));
+        let (_, _, reads, _) = drain_and_count(&mut w);
+        assert!(reads > 0);
+    }
+
+    #[test]
+    fn log_region_is_sequential() {
+        let mut w = TpcC::new(small_config(3));
+        let log_pages = w.log_pages;
+        let mut last: Option<u64> = None;
+        for _ in 0..20_000 {
+            let Some(req) = w.next_request() else { break };
+            if req.kind.is_write() && req.lpn.0 < log_pages && req.pages == 1 {
+                // Log writes are the single-page writes below log_pages that
+                // follow the cursor; random table writes can also land here,
+                // so only check monotone wrap-around progression loosely.
+                if let Some(prev) = last {
+                    if req.lpn.0 == (prev + 1) % log_pages {
+                        last = Some(req.lpn.0);
+                    }
+                } else {
+                    last = Some(req.lpn.0);
+                }
+            }
+        }
+        assert!(last.is_some(), "no log writes observed");
+    }
+}

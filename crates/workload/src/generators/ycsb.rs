@@ -1,0 +1,174 @@
+//! YCSB personality (update-intensive key-value store on Cassandra).
+
+use super::Base;
+use crate::{IoKind, IoRequest, Workload, WorkloadConfig, WriteMix};
+use jitgc_sim::Zipf;
+
+/// YCSB running against Cassandra — the paper's update-intensive workload.
+///
+/// Personality reproduced:
+///
+/// * 50 % reads / 50 % updates over a Zipf(0.99)-skewed key space — the
+///   classic YCSB request distribution. Heavy skew means hot pages are
+///   rewritten quickly, producing many soon-to-be-invalidated pages
+///   (YCSB tops the paper's Table 3 SIP-filtering numbers).
+/// * Updates land in the memtable, i.e. the page cache — **88.2 %
+///   buffered** (paper Table 1); the remaining **11.8 %** is the commit
+///   log, modeled as small sequential direct writes cycling through a
+///   dedicated log region (the first 1/32 of the working set).
+#[derive(Debug)]
+pub struct Ycsb {
+    base: Base,
+    zipf: Zipf,
+    log_cursor: u64,
+    log_pages: u64,
+}
+
+impl Ycsb {
+    /// Paper Table 1: fraction of written pages that are buffered.
+    pub const BUFFERED_FRACTION: f64 = 0.882;
+    /// Fraction of requests that are reads.
+    const READ_FRACTION: f64 = 0.5;
+    /// Zipf skew of the key space.
+    const SKEW: f64 = 0.99;
+
+    /// Creates the generator.
+    #[must_use]
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let zipf = Zipf::new(cfg.working_set_pages(), Self::SKEW);
+        let log_pages = (cfg.working_set_pages() / 32).max(1);
+        Ycsb {
+            base: Base::new(cfg),
+            zipf,
+            log_cursor: 0,
+            log_pages,
+        }
+    }
+}
+
+impl Workload for Ycsb {
+    fn name(&self) -> &'static str {
+        "YCSB"
+    }
+
+    fn write_mix(&self) -> WriteMix {
+        WriteMix::new(Self::BUFFERED_FRACTION)
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        self.base.cfg.working_set_pages()
+    }
+
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let gap = self.base.next_gap()?;
+        if self.base.rng.chance(Self::READ_FRACTION) {
+            let pages = 1 + self.base.rng.range_u64(0, 2) as u32;
+            let lpn = self.zipf_lpn(pages);
+            return Some(IoRequest {
+                gap,
+                kind: IoKind::Read,
+                lpn: jitgc_nand::Lpn(lpn),
+                pages,
+            });
+        }
+        // Draw the record-batch size before choosing buffered vs. direct so
+        // both kinds share the size distribution and the request-count
+        // split equals the page-count split of Table 1.
+        let pages = 1 + self.base.rng.range_u64(0, 4) as u32;
+        if self.base.rng.chance(1.0 - Self::BUFFERED_FRACTION) {
+            // Commit-log group append: sequential within the log region.
+            if self.log_cursor + u64::from(pages) > self.log_pages {
+                self.log_cursor = 0;
+            }
+            let lpn = self.log_cursor;
+            self.log_cursor += u64::from(pages);
+            Some(IoRequest {
+                gap,
+                kind: IoKind::DirectWrite,
+                lpn: jitgc_nand::Lpn(lpn),
+                pages,
+            })
+        } else {
+            // Memtable update: skewed, small.
+            let lpn = self.zipf_lpn(pages);
+            Some(IoRequest {
+                gap,
+                kind: IoKind::BufferedWrite,
+                lpn: jitgc_nand::Lpn(lpn),
+                pages,
+            })
+        }
+    }
+}
+
+impl Ycsb {
+    /// Draws a Zipf rank, scatters it over the address space (keys hash to
+    /// storage locations, so hot pages are not physically clustered), and
+    /// clamps so a `span`-page extent stays inside the working set.
+    fn zipf_lpn(&mut self, span: u32) -> u64 {
+        let ws = self.base.cfg.working_set_pages();
+        let rank = self.zipf.sample(&mut self.base.rng);
+        let scattered = rank.wrapping_mul(2_654_435_761) % ws;
+        scattered.min(ws.saturating_sub(u64::from(span)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::testutil::{assert_deterministic, assert_mix, small_config};
+
+    #[test]
+    fn mix_matches_table1() {
+        let mut w = Ycsb::new(small_config(1));
+        assert_mix(&mut w, 0.03);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_deterministic(|| Box::new(Ycsb::new(small_config(7))));
+    }
+
+    #[test]
+    fn skew_produces_hot_pages() {
+        let mut w = Ycsb::new(small_config(3));
+        let mut counts = std::collections::HashMap::new();
+        while let Some(req) = w.next_request() {
+            if req.kind == IoKind::BufferedWrite {
+                *counts.entry(req.lpn.0).or_insert(0u64) += 1;
+            }
+        }
+        let total: u64 = counts.values().sum();
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freqs.iter().take(10).sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.15,
+            "top-10 pages carry too little traffic: {top10}/{total}"
+        );
+    }
+
+    #[test]
+    fn log_writes_are_sequential_in_log_region() {
+        let mut w = Ycsb::new(small_config(4));
+        let log_pages = w.log_pages;
+        let mut last_end: Option<u64> = None;
+        let mut seen = 0u64;
+        while let Some(req) = w.next_request() {
+            if req.kind == IoKind::DirectWrite {
+                seen += 1;
+                let end = req.lpn.0 + u64::from(req.pages);
+                assert!(end <= log_pages, "log write escaped the log region");
+                if let Some(prev_end) = last_end {
+                    assert!(
+                        req.lpn.0 == prev_end || req.lpn.0 == 0,
+                        "log not sequential: prev end {prev_end}, next start {}",
+                        req.lpn.0
+                    );
+                }
+                last_end = Some(end);
+            }
+        }
+        assert!(seen > 0, "no commit-log writes observed");
+    }
+}

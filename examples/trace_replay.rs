@@ -1,0 +1,81 @@
+//! Record a workload to a JSON-lines trace, replay it, and verify the
+//! replayed run is bit-identical — the mechanism for substituting real
+//! block traces for the synthetic generators.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use jitgc_repro::core::policy::JitGc;
+use jitgc_repro::core::system::{SsdSystem, SystemConfig};
+use jitgc_repro::sim::SimDuration;
+use jitgc_repro::workload::{
+    record_trace, BenchmarkKind, TraceRecord, TraceWorkload, WorkloadConfig,
+};
+use std::io::{BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system_config = SystemConfig::default_sim();
+    let workload_config = WorkloadConfig::builder()
+        .working_set_pages(system_config.ftl.user_pages() - system_config.ftl.op_pages() / 2)
+        .duration(SimDuration::from_secs(60))
+        .mean_iops(250.0)
+        .burst_mean(1_024.0)
+        .seed(7)
+        .build();
+
+    // 1. Record a Postmark stream to JSON lines.
+    let mut original = BenchmarkKind::Postmark.build(workload_config);
+    let trace = record_trace(original.as_mut(), u64::MAX);
+    let path = std::env::temp_dir().join("jitgc_postmark.trace.jsonl");
+    {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        for record in &trace {
+            serde_json::to_writer(&mut file, record)?;
+            file.write_all(b"\n")?;
+        }
+    }
+    println!("recorded {} requests to {}", trace.len(), path.display());
+
+    // 2. Load it back.
+    let file = std::io::BufReader::new(std::fs::File::open(&path)?);
+    let loaded: Vec<TraceRecord> = file
+        .lines()
+        .map(|line| Ok(serde_json::from_str(&line?)?))
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    println!("loaded   {} requests", loaded.len());
+
+    // 3. Run the generator-driven and the trace-driven simulations; they
+    //    must agree exactly.
+    let fresh = BenchmarkKind::Postmark.build(workload_config);
+    let report_live = SsdSystem::new(
+        system_config.clone(),
+        Box::new(JitGc::from_system_config(&system_config)),
+        fresh,
+    )
+    .run();
+    let report_replay = SsdSystem::new(
+        system_config.clone(),
+        Box::new(JitGc::from_system_config(&system_config)),
+        Box::new(
+            TraceWorkload::new("Postmark (replayed)", loaded)
+                .with_working_set(workload_config.working_set_pages()),
+        ),
+    )
+    .run();
+
+    println!(
+        "live run  : {} ops, WAF {:.4}, {} erases",
+        report_live.ops, report_live.waf, report_live.nand_erases
+    );
+    println!(
+        "replay run: {} ops, WAF {:.4}, {} erases",
+        report_replay.ops, report_replay.waf, report_replay.nand_erases
+    );
+    assert_eq!(report_live.ops, report_replay.ops);
+    assert_eq!(report_live.waf, report_replay.waf);
+    assert_eq!(report_live.nand_erases, report_replay.nand_erases);
+    println!("replay is bit-identical ✓");
+    std::fs::remove_file(&path)?;
+    Ok(())
+}
