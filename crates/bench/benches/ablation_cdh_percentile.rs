@@ -38,8 +38,7 @@ fn main() {
             // The policy's own direct predictor percentile comes through
             // the system config; build via the harness for the manager.
             let _ = PolicyKind::Jit;
-            let report =
-                SsdSystem::new(system, Box::new(policy), benchmark.build(wl_cfg)).run();
+            let report = SsdSystem::new(system, Box::new(policy), benchmark.build(wl_cfg)).run();
             fgc.push((report.fgc_request_stalls + report.fgc_flush_stalls) as f64);
             waf.push(report.waf);
         }

@@ -46,7 +46,11 @@ fn main() {
         "{}",
         format_table(
             "Ablation: hot/cold stream separation (JIT-GC)",
-            &["WAF(single)".into(), "WAF(streams)".into(), "saving %".into()],
+            &[
+                "WAF(single)".into(),
+                "WAF(streams)".into(),
+                "saving %".into()
+            ],
             &rows,
             2,
         )

@@ -22,7 +22,11 @@ fn main() {
 
     let mut waf_rows = Vec::new();
     let mut iops_rows = Vec::new();
-    for benchmark in [BenchmarkKind::Ycsb, BenchmarkKind::Postmark, BenchmarkKind::TpcC] {
+    for benchmark in [
+        BenchmarkKind::Ycsb,
+        BenchmarkKind::Postmark,
+        BenchmarkKind::TpcC,
+    ] {
         let mut waf = Vec::new();
         let mut iops = Vec::new();
         for (_, kind) in selectors {
@@ -38,10 +42,20 @@ fn main() {
 
     print!(
         "{}",
-        format_table("Ablation: victim selector vs WAF (JIT-GC)", &columns, &waf_rows, 3)
+        format_table(
+            "Ablation: victim selector vs WAF (JIT-GC)",
+            &columns,
+            &waf_rows,
+            3
+        )
     );
     print!(
         "{}",
-        format_table("Ablation: victim selector vs IOPS (JIT-GC)", &columns, &iops_rows, 0)
+        format_table(
+            "Ablation: victim selector vs IOPS (JIT-GC)",
+            &columns,
+            &iops_rows,
+            0
+        )
     );
 }

@@ -3,7 +3,7 @@
 //! paper reference [7]) and the SIP-less JIT-GC ablation, on all six
 //! benchmarks, with absolute numbers.
 
-use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_bench::{default_threads, format_table, Experiment, PolicyKind};
 use jitgc_workload::BenchmarkKind;
 
 fn main() {
@@ -19,11 +19,17 @@ fn main() {
     ];
     let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
 
+    let cells: Vec<(PolicyKind, BenchmarkKind)> = BenchmarkKind::all()
+        .iter()
+        .flat_map(|&b| policies.iter().map(move |&p| (p, b)))
+        .collect();
+    let all_reports = exp.run_cells(&cells, default_threads());
+
     let mut iops_rows = Vec::new();
     let mut waf_rows = Vec::new();
     let mut stall_rows = Vec::new();
-    for benchmark in BenchmarkKind::all() {
-        let reports: Vec<_> = policies.iter().map(|&p| exp.run(p, benchmark)).collect();
+    for (row, benchmark) in BenchmarkKind::all().iter().enumerate() {
+        let reports = &all_reports[row * policies.len()..(row + 1) * policies.len()];
         iops_rows.push((
             benchmark.name().to_owned(),
             reports.iter().map(|r| r.iops).collect(),
@@ -43,7 +49,12 @@ fn main() {
 
     print!(
         "{}",
-        format_table("Extended comparison: IOPS (absolute)", &columns, &iops_rows, 0)
+        format_table(
+            "Extended comparison: IOPS (absolute)",
+            &columns,
+            &iops_rows,
+            0
+        )
     );
     print!(
         "{}",

@@ -9,7 +9,7 @@
 //! WAF decreasing as `C_resv` shrinks — the performance/lifetime tradeoff
 //! that motivates JIT-GC.
 
-use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_bench::{default_threads, format_table, Experiment, PolicyKind};
 use jitgc_workload::BenchmarkKind;
 
 fn main() {
@@ -20,17 +20,28 @@ fn main() {
         .map(|p| format!("{:.2}OP", *p as f64 / 1000.0))
         .collect();
 
+    // One parallel sweep over the whole grid; results are in cell order.
+    let cells: Vec<(PolicyKind, BenchmarkKind)> = BenchmarkKind::all()
+        .iter()
+        .flat_map(|&b| {
+            sweep
+                .iter()
+                .map(move |&permille| (PolicyKind::ReservedPermille(permille), b))
+        })
+        .collect();
+    let reports = exp.run_cells(&cells, default_threads());
+
     let mut iops_rows = Vec::new();
     let mut waf_rows = Vec::new();
-    for benchmark in BenchmarkKind::all() {
-        let reports: Vec<_> = sweep
-            .iter()
-            .map(|&permille| exp.run(PolicyKind::ReservedPermille(permille), benchmark))
-            .collect();
+    for (row, benchmark) in BenchmarkKind::all().iter().enumerate() {
+        let reports = &reports[row * sweep.len()..(row + 1) * sweep.len()];
         let baseline = reports.last().expect("sweep is non-empty"); // 1.5 OP = A-BGC
         iops_rows.push((
             benchmark.name().to_owned(),
-            reports.iter().map(|r| r.normalized_iops(baseline)).collect(),
+            reports
+                .iter()
+                .map(|r| r.normalized_iops(baseline))
+                .collect(),
         ));
         waf_rows.push((
             benchmark.name().to_owned(),

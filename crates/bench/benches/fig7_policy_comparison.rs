@@ -8,7 +8,7 @@
 //! far below A-BGC's; ADP-GC sits between, worse than JIT-GC on both
 //! metrics for cache-predictable workloads.
 
-use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_bench::{default_threads, format_table, Experiment, PolicyKind};
 use jitgc_workload::BenchmarkKind;
 
 fn main() {
@@ -21,14 +21,26 @@ fn main() {
     ];
     let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
 
+    // The whole policy × benchmark grid runs as one parallel sweep;
+    // results come back in cell order, so the tables are identical to a
+    // serial run.
+    let cells: Vec<(PolicyKind, BenchmarkKind)> = BenchmarkKind::all()
+        .iter()
+        .flat_map(|&b| policies.iter().map(move |&p| (p, b)))
+        .collect();
+    let reports = exp.run_cells(&cells, default_threads());
+
     let mut iops_rows = Vec::new();
     let mut waf_rows = Vec::new();
-    for benchmark in BenchmarkKind::all() {
-        let reports: Vec<_> = policies.iter().map(|&p| exp.run(p, benchmark)).collect();
+    for (row, benchmark) in BenchmarkKind::all().iter().enumerate() {
+        let reports = &reports[row * policies.len()..(row + 1) * policies.len()];
         let baseline = &reports[1]; // A-BGC
         iops_rows.push((
             benchmark.name().to_owned(),
-            reports.iter().map(|r| r.normalized_iops(baseline)).collect(),
+            reports
+                .iter()
+                .map(|r| r.normalized_iops(baseline))
+                .collect(),
         ));
         waf_rows.push((
             benchmark.name().to_owned(),

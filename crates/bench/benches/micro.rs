@@ -1,15 +1,44 @@
-//! Criterion micro-benchmarks for the hot paths of the simulator itself:
-//! FTL writes, GC collection, victim selection, page-cache operations, and
-//! the two predictors. These guard the simulator's own performance (a
-//! 600-second experiment replays millions of operations), not the paper's
-//! results.
+//! Micro-benchmarks for the hot paths of the simulator itself: FTL writes,
+//! GC collection, victim selection, page-cache operations, and the two
+//! predictors. These guard the simulator's own performance (a 600-second
+//! experiment replays millions of operations), not the paper's results.
+//!
+//! Dependency-free harness: each case runs a setup closure and a timed
+//! closure in batches until enough wall-clock has accumulated, then prints
+//! the per-iteration mean. Run with `cargo bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use jitgc_core::predictor::{BufferedWritePredictor, DirectWritePredictor};
 use jitgc_ftl::{Ftl, FtlConfig, GreedySelector};
 use jitgc_nand::Lpn;
 use jitgc_pagecache::{PageCache, PageCacheConfig};
 use jitgc_sim::{ByteSize, SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs `routine` on fresh `setup()` state until ~0.5 s of measured time
+/// accumulates and prints the mean per-iteration latency.
+fn bench_batched<S, R, T>(name: &str, mut setup: S, mut routine: R)
+where
+    S: FnMut() -> T,
+    R: FnMut(&mut T),
+{
+    // One warm-up iteration, untimed (fills allocator pools, warms caches).
+    let mut state = setup();
+    routine(&mut state);
+
+    let target = Duration::from_millis(500);
+    let mut spent = Duration::ZERO;
+    let mut iters = 0u64;
+    while spent < target {
+        let mut state = setup();
+        let start = Instant::now();
+        routine(black_box(&mut state));
+        spent += start.elapsed();
+        iters += 1;
+    }
+    let mean = spent.as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} µs/iter  ({iters} iters)", mean * 1e6);
+}
 
 fn test_ftl() -> Ftl {
     Ftl::new(
@@ -22,86 +51,70 @@ fn test_ftl() -> Ftl {
     )
 }
 
-fn bench_ftl_write(c: &mut Criterion) {
-    c.bench_function("ftl_host_write_sequential", |b| {
-        b.iter_batched_ref(
-            test_ftl,
-            |ftl| {
-                for lpn in 0..4_096u64 {
-                    ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
-                }
-            },
-            BatchSize::LargeInput,
-        );
+fn bench_ftl_write() {
+    bench_batched("ftl_host_write_sequential", test_ftl, |ftl| {
+        for lpn in 0..4_096u64 {
+            ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
+        }
     });
 
-    c.bench_function("ftl_host_write_with_gc_pressure", |b| {
-        b.iter_batched_ref(
-            || {
-                let mut ftl = test_ftl();
-                for lpn in 0..4_096u64 {
-                    ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
-                }
-                ftl
-            },
-            |ftl| {
-                let mut rng = SimRng::seed(7);
-                for _ in 0..4_096 {
-                    let lpn = rng.range_u64(0, 4_096);
-                    ftl.host_write(Lpn(lpn), SimTime::from_secs(1))
-                        .expect("in range");
-                }
-            },
-            BatchSize::LargeInput,
-        );
-    });
+    bench_batched(
+        "ftl_host_write_with_gc_pressure",
+        || {
+            let mut ftl = test_ftl();
+            for lpn in 0..4_096u64 {
+                ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
+            }
+            ftl
+        },
+        |ftl| {
+            let mut rng = SimRng::seed(7);
+            for _ in 0..4_096 {
+                let lpn = rng.range_u64(0, 4_096);
+                ftl.host_write(Lpn(lpn), SimTime::from_secs(1))
+                    .expect("in range");
+            }
+        },
+    );
 }
 
-fn bench_bgc(c: &mut Criterion) {
-    c.bench_function("ftl_background_collect_block", |b| {
-        b.iter_batched_ref(
-            || {
-                let mut ftl = test_ftl();
-                let mut rng = SimRng::seed(3);
-                for _ in 0..12_000 {
-                    let lpn = rng.range_u64(0, 4_096);
-                    ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
-                }
-                ftl
-            },
-            |ftl| {
-                ftl.background_collect(
-                    SimTime::from_secs(2),
-                    SimDuration::from_secs(1),
-                    None,
-                );
-            },
-            BatchSize::LargeInput,
-        );
-    });
+fn bench_bgc() {
+    bench_batched(
+        "ftl_background_collect_block",
+        || {
+            let mut ftl = test_ftl();
+            let mut rng = SimRng::seed(3);
+            for _ in 0..12_000 {
+                let lpn = rng.range_u64(0, 4_096);
+                ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
+            }
+            ftl
+        },
+        |ftl| {
+            ftl.background_collect(SimTime::from_secs(2), SimDuration::from_secs(1), None);
+        },
+    );
 }
 
-fn bench_pagecache(c: &mut Criterion) {
+fn bench_pagecache() {
     let config = PageCacheConfig::builder()
         .capacity_pages(8_192)
         .tau_expire(SimDuration::from_secs(3))
         .build();
-    c.bench_function("pagecache_write_flush_cycle", |b| {
-        b.iter_batched_ref(
-            || PageCache::new(config),
-            |cache| {
-                let mut rng = SimRng::seed(11);
-                for i in 0..4_096u64 {
-                    cache.write(Lpn(rng.range_u64(0, 8_192)), SimTime::from_millis(i));
-                }
-                cache.flusher_tick(SimTime::from_secs(10));
-            },
-            BatchSize::LargeInput,
-        );
-    });
+    bench_batched(
+        "pagecache_write_flush_cycle",
+        || PageCache::new(config),
+        |cache| {
+            let mut rng = SimRng::seed(11);
+            for i in 0..4_096u64 {
+                cache.write(Lpn(rng.range_u64(0, 8_192)), SimTime::from_millis(i));
+            }
+            cache.flusher_tick(SimTime::from_secs(10));
+        },
+    );
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn bench_predictors() {
     let config = PageCacheConfig::builder()
         .capacity_pages(8_192)
         .tau_expire(SimDuration::from_secs(3))
@@ -116,30 +129,39 @@ fn bench_predictors(c: &mut Criterion) {
         SimDuration::from_secs(3),
         ByteSize::kib(4),
     );
-    c.bench_function("buffered_predictor_scan_4k_dirty", |b| {
-        b.iter(|| predictor.predict(&cache, SimTime::from_secs(5)));
-    });
+    bench_batched(
+        "buffered_predictor_scan_4k_dirty",
+        || (),
+        |()| {
+            black_box(predictor.predict(&cache, SimTime::from_secs(5)));
+        },
+    );
 
-    c.bench_function("direct_predictor_observe_predict", |b| {
-        let mut pred = DirectWritePredictor::new(
-            SimDuration::from_millis(500),
-            SimDuration::from_secs(3),
-            0.8,
-            256 * 1024,
-        );
-        let mut rng = SimRng::seed(17);
-        b.iter(|| {
-            pred.observe_interval(rng.range_u64(0, 16 << 20));
-            pred.predict()
-        });
-    });
+    bench_batched(
+        "direct_predictor_observe_predict",
+        || {
+            (
+                DirectWritePredictor::new(
+                    SimDuration::from_millis(500),
+                    SimDuration::from_secs(3),
+                    0.8,
+                    256 * 1024,
+                ),
+                SimRng::seed(17),
+            )
+        },
+        |(pred, rng)| {
+            for _ in 0..64 {
+                pred.observe_interval(rng.range_u64(0, 16 << 20));
+                black_box(pred.predict());
+            }
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_ftl_write,
-    bench_bgc,
-    bench_pagecache,
-    bench_predictors
-);
-criterion_main!(benches);
+fn main() {
+    bench_ftl_write();
+    bench_bgc();
+    bench_pagecache();
+    bench_predictors();
+}

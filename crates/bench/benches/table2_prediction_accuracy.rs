@@ -12,15 +12,19 @@
 //! not define its formula, so absolute values differ while the JIT-vs-ADP
 //! comparison is preserved.
 
-use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_bench::{default_threads, format_table, Experiment, PolicyKind};
 use jitgc_workload::BenchmarkKind;
 
 fn main() {
     let exp = Experiment::standard();
+    let cells: Vec<(PolicyKind, BenchmarkKind)> = BenchmarkKind::all()
+        .iter()
+        .flat_map(|&b| [(PolicyKind::Jit, b), (PolicyKind::Adp, b)])
+        .collect();
+    let reports = exp.run_cells(&cells, default_threads());
     let mut rows = Vec::new();
-    for benchmark in BenchmarkKind::all() {
-        let jit = exp.run(PolicyKind::Jit, benchmark);
-        let adp = exp.run(PolicyKind::Adp, benchmark);
+    for (row, benchmark) in BenchmarkKind::all().iter().enumerate() {
+        let (jit, adp) = (&reports[row * 2], &reports[row * 2 + 1]);
         rows.push((
             benchmark.name().to_owned(),
             vec![

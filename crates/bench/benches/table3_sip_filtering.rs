@@ -7,14 +7,18 @@
 //! direct-heavy ones (TPC-C ≈ 1 % in the paper — direct writes never sit
 //! dirty in the cache, so the SIP list is almost empty).
 
-use jitgc_bench::{format_table, Experiment, PolicyKind};
+use jitgc_bench::{default_threads, format_table, Experiment, PolicyKind};
 use jitgc_workload::BenchmarkKind;
 
 fn main() {
     let exp = Experiment::standard();
+    let cells: Vec<(PolicyKind, BenchmarkKind)> = BenchmarkKind::all()
+        .iter()
+        .map(|&b| (PolicyKind::Jit, b))
+        .collect();
+    let reports = exp.run_cells(&cells, default_threads());
     let mut rows = Vec::new();
-    for benchmark in BenchmarkKind::all() {
-        let report = exp.run(PolicyKind::Jit, benchmark);
+    for (benchmark, report) in BenchmarkKind::all().iter().zip(&reports) {
         rows.push((
             benchmark.name().to_owned(),
             vec![report.sip_filtered_fraction.map_or(0.0, |f| f * 100.0)],

@@ -21,8 +21,15 @@ fn main() {
     exp.burst_mean = burst;
     exp.duration = SimDuration::from_secs(secs);
     let system = exp.system.clone();
-    let ws = if ws_16th >= 16 { system.ftl.user_pages() - system.ftl.op_pages() / 2 } else { system.ftl.user_pages() * ws_16th / 16 };
-    println!("iops={iops} burst={burst} ws={ws} secs={secs} op_pages={}", system.ftl.op_pages());
+    let ws = if ws_16th >= 16 {
+        system.ftl.user_pages() - system.ftl.op_pages() / 2
+    } else {
+        system.ftl.user_pages() * ws_16th / 16
+    };
+    println!(
+        "iops={iops} burst={burst} ws={ws} secs={secs} op_pages={}",
+        system.ftl.op_pages()
+    );
 
     let policies = [
         PolicyKind::NoBgc,
@@ -36,7 +43,16 @@ fn main() {
         println!("\n--- {benchmark} ---");
         println!(
             "{:<16}{:>10}{:>8}{:>10}{:>10}{:>8}{:>10}{:>10}{:>10}{:>8}",
-            "policy", "iops", "waf", "fgc_req", "fgc_fl", "thr", "bgc_blk", "p99_ms", "acc%", "sip%"
+            "policy",
+            "iops",
+            "waf",
+            "fgc_req",
+            "fgc_fl",
+            "thr",
+            "bgc_blk",
+            "p99_ms",
+            "acc%",
+            "sip%"
         );
         for policy in policies {
             let wl_cfg = WorkloadConfig::builder()

@@ -3,7 +3,12 @@
 //!
 //! ```text
 //! ssdsim [OPTIONS]
-//!   --benchmark <ycsb|postmark|filebench|bonnie|tiobench|tpcc>   (default ycsb)
+//!   --benchmark <ycsb|postmark|filebench|bonnie|tiobench|tpcc|all|b1,b2,…>
+//!                          one benchmark, a comma list, or `all`; with
+//!                          more than one, the scenarios run as a parallel
+//!                          sweep and a summary table (or a JSON array)
+//!                          is printed                  (default ycsb)
+//!   --threads <N>          worker threads for sweeps   (default: all cores)
 //!   --policy <l-bgc|a-bgc|adp-gc|idle-gc|jit-gc|jit-nosip|no-bgc|reserved:<permille>>
 //!                                                                (default jit-gc)
 //!   --seconds <N>          simulated duration          (default 300)
@@ -21,17 +26,23 @@
 //!                          modify the system still apply on top)
 //!   --dump-config <path>   write the effective SystemConfig to JSON and exit
 //!   --json                 emit the full SimReport as JSON
+//!   --bench-json <path>    also write a machine-readable perf record (host
+//!                          pages simulated per wall-clock second, per-phase
+//!                          timing) for tracking simulator throughput
 //! ```
 
-use jitgc_bench::PolicyKind;
+use jitgc_bench::{default_threads, run_grid, PolicyKind};
 use jitgc_core::system::{ManagerPlacement, SsdSystem, SystemConfig, VictimKind};
 use jitgc_ftl::FtlConfig;
+use jitgc_sim::json::{JsonValue, ObjectBuilder};
 use jitgc_sim::SimDuration;
 use jitgc_workload::{BenchmarkKind, WorkloadConfig};
+use std::time::Instant;
 
 #[derive(Debug)]
 struct Args {
-    benchmark: BenchmarkKind,
+    benchmarks: Vec<BenchmarkKind>,
+    threads: usize,
     policy: PolicyKind,
     seconds: u64,
     iops: f64,
@@ -47,12 +58,14 @@ struct Args {
     config: Option<String>,
     dump_config: Option<String>,
     json: bool,
+    bench_json: Option<String>,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Args {
-            benchmark: BenchmarkKind::Ycsb,
+            benchmarks: vec![BenchmarkKind::Ycsb],
+            threads: default_threads(),
             policy: PolicyKind::Jit,
             seconds: 300,
             iops: 250.0,
@@ -68,6 +81,7 @@ impl Default for Args {
             config: None,
             dump_config: None,
             json: false,
+            bench_json: None,
         }
     }
 }
@@ -94,6 +108,13 @@ fn parse_benchmark(v: &str) -> BenchmarkKind {
             usage()
         }
     }
+}
+
+fn parse_benchmarks(v: &str) -> Vec<BenchmarkKind> {
+    if v == "all" {
+        return BenchmarkKind::all().to_vec();
+    }
+    v.split(',').map(parse_benchmark).collect()
 }
 
 fn parse_policy(v: &str) -> PolicyKind {
@@ -136,7 +157,8 @@ fn parse_args() -> Args {
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--benchmark" => args.benchmark = parse_benchmark(&value()),
+            "--benchmark" => args.benchmarks = parse_benchmarks(&value()),
+            "--threads" => args.threads = value().parse().unwrap_or_else(|_| usage()),
             "--policy" => args.policy = parse_policy(&value()),
             "--seconds" => args.seconds = value().parse().unwrap_or_else(|_| usage()),
             "--iops" => args.iops = value().parse().unwrap_or_else(|_| usage()),
@@ -152,6 +174,7 @@ fn parse_args() -> Args {
             "--config" => args.config = Some(value()),
             "--dump-config" => args.dump_config = Some(value()),
             "--json" => args.json = true,
+            "--bench-json" => args.bench_json = Some(value()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -160,6 +183,47 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Builds the `--bench-json` perf record: how fast the *simulator itself*
+/// ran, so successive commits can track the throughput trajectory.
+fn perf_record(
+    args: &Args,
+    report: &jitgc_core::system::SimReport,
+    setup_secs: f64,
+    run_secs: f64,
+) -> JsonValue {
+    let wall_secs = setup_secs + run_secs;
+    let per_sec = |count: u64| -> f64 {
+        if run_secs > 0.0 {
+            count as f64 / run_secs
+        } else {
+            0.0
+        }
+    };
+    ObjectBuilder::new()
+        .field("schema", "ssdsim-bench/1")
+        .field("benchmark", report.workload.as_str())
+        .field("policy", report.policy.as_str())
+        .field("victim", report.victim_policy.as_str())
+        .field("seed", args.seed)
+        .field("simulated_secs", report.duration_secs)
+        .field("ops", report.ops)
+        .field("host_pages_written", report.host_pages_written)
+        .field("nand_pages_programmed", report.nand_pages_programmed)
+        .field("wall_secs", wall_secs)
+        .field("setup_secs", setup_secs)
+        .field("run_secs", run_secs)
+        .field(
+            "host_pages_per_wall_sec",
+            per_sec(report.host_pages_written),
+        )
+        .field(
+            "nand_pages_per_wall_sec",
+            per_sec(report.nand_pages_programmed),
+        )
+        .field("ops_per_wall_sec", per_sec(report.ops))
+        .build()
 }
 
 fn main() {
@@ -171,7 +235,11 @@ fn main() {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(2)
             });
-            serde_json::from_str(&text).unwrap_or_else(|e| {
+            let value = JsonValue::parse(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(2)
+            });
+            SystemConfig::from_json(&value).unwrap_or_else(|e| {
                 eprintln!("cannot parse {path}: {e}");
                 std::process::exit(2)
             })
@@ -200,8 +268,7 @@ fn main() {
     }
 
     if let Some(path) = &args.dump_config {
-        let json = serde_json::to_string_pretty(&system).expect("config serializes");
-        std::fs::write(path, json).expect("write config JSON");
+        std::fs::write(path, system.to_json().to_pretty()).expect("write config JSON");
         eprintln!("wrote effective config to {path}");
         return;
     }
@@ -213,9 +280,73 @@ fn main() {
         .burst_mean(args.burst)
         .seed(args.seed)
         .build();
-    let workload = args.benchmark.build(workload_config);
-    let policy = args.policy.build(&system);
-    let report = SsdSystem::new(system, policy, workload).run();
+    if args.benchmarks.len() != 1 && args.timeline.is_some() {
+        eprintln!("--timeline requires a single benchmark");
+        std::process::exit(2)
+    }
+
+    // Each scenario is an independent simulation, so the sweep runs the
+    // requested benchmarks across worker threads; results come back in
+    // input order regardless of the thread count. A single benchmark
+    // takes the plain serial path inside `run_grid`.
+    let policy = args.policy;
+    let threads = if args.benchmarks.len() == 1 {
+        1
+    } else {
+        args.threads
+    };
+    let runs = run_grid(&args.benchmarks, threads, |&benchmark| {
+        let setup_start = Instant::now();
+        let workload = benchmark.build(workload_config);
+        let policy = policy.build(&system);
+        let mut sim = SsdSystem::new(system.clone(), policy, workload);
+        let setup_secs = setup_start.elapsed().as_secs_f64();
+        let run_start = Instant::now();
+        let report = sim.run();
+        (report, setup_secs, run_start.elapsed().as_secs_f64())
+    });
+
+    if let Some(path) = &args.bench_json {
+        let records: Vec<JsonValue> = runs
+            .iter()
+            .map(|(report, setup_secs, run_secs)| {
+                perf_record(&args, report, *setup_secs, *run_secs)
+            })
+            .collect();
+        let text = if records.len() == 1 {
+            records[0].to_pretty()
+        } else {
+            JsonValue::Array(records).to_pretty()
+        };
+        std::fs::write(path, text).expect("write bench JSON");
+        eprintln!("wrote perf record to {path}");
+    }
+
+    if args.benchmarks.len() != 1 {
+        if args.json {
+            let reports: Vec<JsonValue> =
+                runs.iter().map(|(report, _, _)| report.to_json()).collect();
+            println!("{}", JsonValue::Array(reports).to_pretty());
+        } else {
+            println!(
+                "{:<12}{:>10}{:>8}{:>10}{:>10}{:>12}",
+                "benchmark", "IOPS", "WAF", "FGC", "BGC blk", "p99 µs"
+            );
+            for (report, _, _) in &runs {
+                println!(
+                    "{:<12}{:>10.0}{:>8.3}{:>10}{:>10}{:>12}",
+                    report.workload,
+                    report.iops,
+                    report.waf,
+                    report.fgc_request_stalls + report.fgc_flush_stalls,
+                    report.bgc_blocks,
+                    report.latency_p99_us
+                );
+            }
+        }
+        return;
+    }
+    let (report, _, _) = runs.into_iter().next().expect("one benchmark ran");
 
     if let Some(path) = &args.timeline {
         let mut csv = String::from(
@@ -238,10 +369,7 @@ fn main() {
     }
 
     if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("report serializes")
-        );
+        println!("{}", report.to_json().to_pretty());
         return;
     }
     println!("policy          {}", report.policy);

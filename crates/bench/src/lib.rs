@@ -13,6 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod runner;
+
+pub use runner::{default_threads, run_grid};
+
 use jitgc_core::policy::{AdpGc, GcPolicy, IdleGc, JitGc, NoBgc, ReservedCapacity};
 use jitgc_core::system::{SimReport, SsdSystem, SystemConfig};
 use jitgc_sim::SimDuration;

@@ -314,7 +314,8 @@ impl GcPolicy for AdpGc {
 
     fn on_interval(&mut self, obs: &IntervalObservation<'_>) -> PolicyDecision {
         // Device-only view: feed the total traffic of the closed interval.
-        self.predictor.observe_interval(obs.device_bytes_last_interval);
+        self.predictor
+            .observe_interval(obs.device_bytes_last_interval);
         let demand = self.predictor.predict();
         let decision = self
             .manager
@@ -417,7 +418,9 @@ impl GcPolicy for JitGc {
         //   flush it covers.
         let floor = ByteSize::bytes(
             obs.buffered_demand.interval(1)
-                + obs.buffered_demand.interval(2.min(obs.buffered_demand.horizon()))
+                + obs
+                    .buffered_demand
+                    .interval(2.min(obs.buffered_demand.horizon()))
                 + obs.direct_demand.total(),
         );
         // Like ADP-GC, the reserve is capped at the aggressive end of the
@@ -425,9 +428,7 @@ impl GcPolicy for JitGc {
         let cap = obs.op_capacity.scale_permille(1_500);
         PolicyDecision {
             target_free: floor.max(obs.free_capacity + decision.reclaim).min(cap),
-            predicted_next_interval: Some(
-                obs.buffered_demand.total() + obs.direct_demand.total(),
-            ),
+            predicted_next_interval: Some(obs.buffered_demand.total() + obs.direct_demand.total()),
         }
     }
 
@@ -593,7 +594,7 @@ mod tests {
             last = p.on_interval(&obs(10, &b, &d, 50 * MB));
         }
         assert_eq!(last.target_free, ByteSize::bytes(50 * MB)); // 0.5 × op(100)
-        // Traffic collapses: idle phase expected → aggressive reserve.
+                                                                // Traffic collapses: idle phase expected → aggressive reserve.
         for _ in 0..5 {
             last = p.on_interval(&obs(10, &b, &d, 0));
         }

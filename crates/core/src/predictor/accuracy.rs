@@ -1,7 +1,5 @@
 //! Prediction-accuracy scoring (paper Table 2).
 
-use serde::{Deserialize, Serialize};
-
 /// Scores next-interval traffic predictions against observed traffic.
 ///
 /// Per interval the tracker computes the **symmetric accuracy**
@@ -29,7 +27,8 @@ use serde::{Deserialize, Serialize};
 /// let score = acc.mean_accuracy().expect("two samples");
 /// assert!((score - 0.70).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccuracyTracker {
     sum: f64,
     scored: u64,

@@ -3,14 +3,14 @@
 use jitgc_ftl::SipList;
 use jitgc_pagecache::PageCache;
 use jitgc_sim::{ByteSize, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The sequence `D_buf(t) = (D¹_buf, …, D^Nwb_buf)` of per-interval upper
 /// bounds on buffered write-back traffic, in bytes.
 ///
 /// Index `i` (0-based `i-1`) covers the future write-back interval
 /// `I^i_wb(t) = [t + i·p, t + (i+1)·p]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BufferedDemand {
     per_interval: Vec<u64>,
 }
@@ -154,8 +154,8 @@ impl BufferedWritePredictor {
 
         // The SIP list always contains every dirty page — whenever it does
         // get flushed, the on-flash copy dies.
-        let gated = self.strict_tau_flush
-            && cache.dirty_count() <= cache.config().flush_threshold_pages();
+        let gated =
+            self.strict_tau_flush && cache.dirty_count() <= cache.config().flush_threshold_pages();
         for (lpn, last_update) in cache.dirty_pages() {
             sip.insert(lpn);
             if gated {
@@ -168,7 +168,12 @@ impl BufferedWritePredictor {
             let k = (remaining.as_micros().div_ceil(self.p.as_micros()) as usize).clamp(1, nwb);
             demand[k - 1] += page_bytes;
         }
-        (BufferedDemand { per_interval: demand }, sip)
+        (
+            BufferedDemand {
+                per_interval: demand,
+            },
+            sip,
+        )
     }
 }
 

@@ -2,13 +2,13 @@
 
 use jitgc_sim::stats::Cdh;
 use jitgc_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The sequence `D_dir(t) = (D¹_dir, …, D^Nwb_dir)` of per-interval direct
 /// write demands, in bytes. The paper spreads the reservation `δ_dir`
 /// evenly: `D^i_dir = δ_dir / N_wb`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DirectDemand {
     per_interval_bytes: u64,
     nwb: usize,

@@ -1,11 +1,11 @@
 //! System-level configuration.
 
-use jitgc_ftl::{CostBenefitSelector, FifoSelector, FtlConfig, GreedySelector, RandomSelector,
-                VictimSelector};
+use jitgc_ftl::{
+    CostBenefitSelector, FifoSelector, FtlConfig, GreedySelector, RandomSelector, VictimSelector,
+};
 use jitgc_pagecache::PageCacheConfig;
+use jitgc_sim::json::{JsonError, JsonValue, ObjectBuilder};
 use jitgc_sim::{ByteSize, SimDuration};
-use serde::{Deserialize, Serialize};
-
 
 /// Where the JIT-GC manager runs (paper Fig. 3).
 ///
@@ -15,7 +15,8 @@ use serde::{Deserialize, Serialize};
 /// (Fig. 3(b)) to run the manager in the host and drive the SSD with
 /// explicit commands over `SG_IO`, paying ~160 µs per exchange. The
 /// placement changes only that interface cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ManagerPlacement {
     /// Fig. 3(b): manager in the host kernel; each tick pays the
     /// configured per-command overhead for the demand/SIP/C_free/BGC
@@ -27,7 +28,8 @@ pub enum ManagerPlacement {
 }
 
 /// Which victim-selection policy the FTL uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum VictimKind {
     /// Fewest valid pages first (default).
     Greedy,
@@ -50,13 +52,48 @@ impl VictimKind {
             VictimKind::Random(seed) => Box::new(RandomSelector::new(seed)),
         }
     }
+
+    /// Serializes to the repository's JSON config format.
+    #[must_use]
+    pub fn to_json(self) -> JsonValue {
+        match self {
+            VictimKind::Greedy => JsonValue::from("greedy"),
+            VictimKind::CostBenefit => JsonValue::from("cost-benefit"),
+            VictimKind::Fifo => JsonValue::from("fifo"),
+            VictimKind::Random(seed) => ObjectBuilder::new()
+                .field("random", JsonValue::U64(seed))
+                .build(),
+        }
+    }
+
+    /// Parses the format written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for unknown policy names.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "greedy" => Ok(VictimKind::Greedy),
+                "cost-benefit" => Ok(VictimKind::CostBenefit),
+                "fifo" => Ok(VictimKind::Fifo),
+                other => Err(JsonError::new(format!("unknown victim policy `{other}`"))),
+            };
+        }
+        let seed = v
+            .req("random")?
+            .as_u64()
+            .ok_or_else(|| JsonError::new("`random` seed must be an integer"))?;
+        Ok(VictimKind::Random(seed))
+    }
 }
 
 /// Full configuration of an [`SsdSystem`](crate::system::SsdSystem).
 ///
 /// Serializable, so whole experiment setups can be stored and replayed
 /// (`ssdsim --config setup.json`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemConfig {
     /// FTL / device configuration.
     pub ftl: FtlConfig,
@@ -202,8 +239,8 @@ impl SystemConfig {
         let bw = timing.program_bandwidth(page);
         let ppb = u64::from(self.ftl.geometry().pages_per_block());
         let freed = (ppb / 2).max(1);
-        let gc_time = timing.page_migrate_cost().saturating_mul(ppb / 2)
-            + timing.block_erase_cost();
+        let gc_time =
+            timing.page_migrate_cost().saturating_mul(ppb / 2) + timing.block_erase_cost();
         let gc_bw = (page.as_u64() * freed) as f64 / gc_time.as_secs_f64();
         (bw, gc_bw)
     }
@@ -218,6 +255,88 @@ impl SystemConfig {
     #[must_use]
     pub fn op_capacity(&self) -> ByteSize {
         self.ftl.op_capacity()
+    }
+
+    /// Serializes to the repository's JSON config format
+    /// (`ssdsim --dump-config`).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("ftl", self.ftl.to_json())
+            .field("cache", self.cache.to_json())
+            .field("flusher_period_us", self.flusher_period.as_micros())
+            .field("cache_op_time_us", self.cache_op_time.as_micros())
+            .field(
+                "host_command_overhead_us",
+                self.host_command_overhead.as_micros(),
+            )
+            .field("cdh_percentile", self.cdh_percentile)
+            .field("cdh_bin_bytes", self.cdh_bin_bytes)
+            .field("victim", self.victim.to_json())
+            .field(
+                "manager_placement",
+                match self.manager_placement {
+                    ManagerPlacement::Host => "host",
+                    ManagerPlacement::Device => "device",
+                },
+            )
+            .field("queue_depth", self.queue_depth)
+            .field("strict_tau_flush", self.strict_tau_flush)
+            .field("wear_leveling", self.wear_leveling)
+            .field("prefill", self.prefill)
+            .field("record_timeline", self.record_timeline)
+            .build()
+    }
+
+    /// Parses the format written by [`to_json`](Self::to_json)
+    /// (`ssdsim --config`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let micros = |key: &str| -> Result<SimDuration, JsonError> {
+            v.req(key)?
+                .as_u64()
+                .map(SimDuration::from_micros)
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be an integer")))
+        };
+        let bool_field = |key: &str| -> Result<bool, JsonError> {
+            v.req(key)?
+                .as_bool()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be a bool")))
+        };
+        let manager_placement = match v.req("manager_placement")?.as_str() {
+            Some("host") => ManagerPlacement::Host,
+            Some("device") => ManagerPlacement::Device,
+            _ => return Err(JsonError::new("`manager_placement` must be host|device")),
+        };
+        Ok(SystemConfig {
+            ftl: FtlConfig::from_json(v.req("ftl")?)?,
+            cache: PageCacheConfig::from_json(v.req("cache")?)?,
+            flusher_period: micros("flusher_period_us")?,
+            cache_op_time: micros("cache_op_time_us")?,
+            host_command_overhead: micros("host_command_overhead_us")?,
+            cdh_percentile: v
+                .req("cdh_percentile")?
+                .as_f64()
+                .ok_or_else(|| JsonError::new("`cdh_percentile` must be a number"))?,
+            cdh_bin_bytes: v
+                .req("cdh_bin_bytes")?
+                .as_u64()
+                .ok_or_else(|| JsonError::new("`cdh_bin_bytes` must be an integer"))?,
+            victim: VictimKind::from_json(v.req("victim")?)?,
+            manager_placement,
+            queue_depth: v
+                .req("queue_depth")?
+                .as_u64()
+                .and_then(|q| u32::try_from(q).ok())
+                .ok_or_else(|| JsonError::new("`queue_depth` must be an integer"))?,
+            strict_tau_flush: bool_field("strict_tau_flush")?,
+            wear_leveling: bool_field("wear_leveling")?,
+            prefill: bool_field("prefill")?,
+            record_timeline: bool_field("record_timeline")?,
+        })
     }
 }
 
@@ -247,6 +366,44 @@ mod tests {
             let sel = kind.build();
             assert!(!sel.name().is_empty());
         }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut cfg = SystemConfig::default_sim();
+        cfg.victim = VictimKind::Random(99);
+        cfg.manager_placement = ManagerPlacement::Device;
+        cfg.queue_depth = 4;
+        cfg.strict_tau_flush = true;
+        let back = SystemConfig::from_json(&cfg.to_json()).expect("parse");
+        assert_eq!(back.ftl.user_pages(), cfg.ftl.user_pages());
+        assert_eq!(back.ftl.geometry(), cfg.ftl.geometry());
+        assert_eq!(back.cache, cfg.cache);
+        assert_eq!(back.flusher_period, cfg.flusher_period);
+        assert_eq!(back.victim, cfg.victim);
+        assert_eq!(back.manager_placement, cfg.manager_placement);
+        assert_eq!(back.queue_depth, cfg.queue_depth);
+        assert_eq!(back.strict_tau_flush, cfg.strict_tau_flush);
+        assert_eq!(back.prefill, cfg.prefill);
+        // Text form round-trips through the parser too.
+        let reparsed = jitgc_sim::json::JsonValue::parse(&cfg.to_json().to_pretty()).unwrap();
+        assert_eq!(
+            SystemConfig::from_json(&reparsed).unwrap().cdh_bin_bytes,
+            cfg.cdh_bin_bytes
+        );
+    }
+
+    #[test]
+    fn victim_kind_json_forms() {
+        for kind in [
+            VictimKind::Greedy,
+            VictimKind::CostBenefit,
+            VictimKind::Fifo,
+            VictimKind::Random(7),
+        ] {
+            assert_eq!(VictimKind::from_json(&kind.to_json()).unwrap(), kind);
+        }
+        assert!(VictimKind::from_json(&JsonValue::from("lru")).is_err());
     }
 
     #[test]

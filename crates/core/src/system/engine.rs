@@ -233,7 +233,8 @@ impl SsdSystem {
         }
 
         // 3. Kernel-side predictors (paper Sec. 3.2).
-        self.direct_pred.observe_interval(self.direct_bytes_interval);
+        self.direct_pred
+            .observe_interval(self.direct_bytes_interval);
         self.direct_bytes_interval = 0;
         let (buffered_demand, sip) = self.buffered_pred.predict(&self.cache, now);
         let direct_demand = self.direct_pred.predict();
@@ -314,10 +315,8 @@ impl SsdSystem {
             .background_collect(gap_start, budget, Some(target_pages));
         if outcome.blocks_erased > 0 {
             self.device_busy_until = gap_start + outcome.duration;
-            self.policy.observe_gc(
-                self.page_size() * outcome.pages_freed,
-                outcome.duration,
-            );
+            self.policy
+                .observe_gc(self.page_size() * outcome.pages_freed, outcome.duration);
         }
     }
 
@@ -432,11 +431,7 @@ impl SsdSystem {
 
     fn build_report(&self, end: SimTime) -> SimReport {
         let secs = end.as_secs_f64().max(f64::MIN_POSITIVE);
-        let lat = |q: f64| {
-            self.latencies
-                .percentile(q)
-                .map_or(0, |d| d.as_micros())
-        };
+        let lat = |q: f64| self.latencies.percentile(q).map_or(0, |d| d.as_micros());
         let stats = self.ftl.stats();
         SimReport {
             policy: self.policy.name().to_owned(),
@@ -664,11 +659,7 @@ mod tests {
             .working_set_pages(ws)
             .duration(SimDuration::from_secs(2))
             .build();
-        let mut system = SsdSystem::new(
-            config,
-            Box::new(NoBgc),
-            BenchmarkKind::TpcC.build(wl_cfg),
-        );
+        let mut system = SsdSystem::new(config, Box::new(NoBgc), BenchmarkKind::TpcC.build(wl_cfg));
         let report = system.run();
         // Counters were reset after the fill: host writes reflect only the
         // measured phase, yet the device holds at least the working set.
@@ -713,6 +704,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn system_config_serde_round_trips() {
         let config = SystemConfig::default_sim();
         let json = serde_json::to_string(&config).expect("serialize");
@@ -736,12 +728,7 @@ mod tests {
     fn all_benchmarks_run_under_jit() {
         let cfg = SystemConfig::small_for_tests();
         for kind in BenchmarkKind::all() {
-            let report = run(
-                Box::new(JitGc::from_system_config(&cfg)),
-                kind,
-                15,
-                11,
-            );
+            let report = run(Box::new(JitGc::from_system_config(&cfg)), kind, 15, 11);
             assert!(report.ops > 1_000, "{kind}: ops {}", report.ops);
             assert!(report.waf >= 1.0, "{kind}: waf {}", report.waf);
         }

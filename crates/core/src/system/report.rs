@@ -1,13 +1,14 @@
 //! The per-run result record.
 
 use jitgc_nand::WearReport;
-use serde::{Deserialize, Serialize};
+use jitgc_sim::json::{JsonValue, ObjectBuilder};
 
 /// One write-back interval's snapshot, recorded when
 /// [`SystemConfig::record_timeline`](crate::system::SystemConfig) is set —
 /// the raw material for time-series plots of free space, reserve targets
 /// and GC activity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalSample {
     /// Interval start, seconds of simulated time.
     pub t_secs: f64,
@@ -27,7 +28,8 @@ pub struct IntervalSample {
 
 /// Everything one simulation run measured — the raw material for every
 /// table and figure in the paper's evaluation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimReport {
     /// Policy display name ("L-BGC", "A-BGC", "ADP-GC", "JIT-GC", …).
     pub policy: String,
@@ -96,7 +98,7 @@ pub struct SimReport {
     /// Pages the device programmed in total (host + GC migrations).
     pub nand_pages_programmed: u64,
     /// Per-interval snapshots (empty unless timeline recording was on).
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub timeline: Vec<IntervalSample>,
 }
 
@@ -122,6 +124,63 @@ impl SimReport {
     pub fn normalized_waf(&self, baseline: &SimReport) -> f64 {
         assert!(baseline.waf > 0.0, "baseline has zero WAF");
         self.waf / baseline.waf
+    }
+
+    /// Serializes the full report to the repository's JSON format
+    /// (`ssdsim --json`).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let timeline: Vec<JsonValue> = self.timeline.iter().map(IntervalSample::to_json).collect();
+        ObjectBuilder::new()
+            .field("policy", self.policy.as_str())
+            .field("workload", self.workload.as_str())
+            .field("victim_policy", self.victim_policy.as_str())
+            .field("duration_secs", self.duration_secs)
+            .field("ops", self.ops)
+            .field("iops", self.iops)
+            .field("reads", self.reads)
+            .field("buffered_writes", self.buffered_writes)
+            .field("direct_writes", self.direct_writes)
+            .field("trims", self.trims)
+            .field("waf", self.waf)
+            .field("nand_erases", self.nand_erases)
+            .field("wear", self.wear.to_json())
+            .field("fgc_request_stalls", self.fgc_request_stalls)
+            .field("fgc_flush_stalls", self.fgc_flush_stalls)
+            .field("throttled_requests", self.throttled_requests)
+            .field("bgc_blocks", self.bgc_blocks)
+            .field("gc_pages_migrated", self.gc_pages_migrated)
+            .field("latency_mean_us", self.latency_mean_us)
+            .field("latency_p50_us", self.latency_p50_us)
+            .field("latency_p99_us", self.latency_p99_us)
+            .field("latency_p999_us", self.latency_p999_us)
+            .field("latency_max_us", self.latency_max_us)
+            .field(
+                "prediction_accuracy_percent",
+                self.prediction_accuracy_percent,
+            )
+            .field("sip_filtered_fraction", self.sip_filtered_fraction)
+            .field("cache_hit_ratio", self.cache_hit_ratio)
+            .field("host_pages_written", self.host_pages_written)
+            .field("nand_pages_programmed", self.nand_pages_programmed)
+            .field("timeline", JsonValue::Array(timeline))
+            .build()
+    }
+}
+
+impl IntervalSample {
+    /// Serializes one timeline sample to the repository's JSON format.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("t_secs", self.t_secs)
+            .field("free_pages", self.free_pages)
+            .field("target_pages", self.target_pages)
+            .field("host_pages_interval", self.host_pages_interval)
+            .field("fgc_cumulative", self.fgc_cumulative)
+            .field("bgc_blocks_cumulative", self.bgc_blocks_cumulative)
+            .field("waf", self.waf)
+            .build()
     }
 }
 
@@ -180,8 +239,33 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serializes_to_json() {
         let json = serde_json::to_string(&dummy(1.0, 1.0)).expect("serialize");
         assert!(json.contains("\"iops\""));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_faithful() {
+        let mut report = dummy(1200.5, 1.25);
+        report.ops = u64::MAX;
+        report.timeline.push(IntervalSample {
+            t_secs: 1.0,
+            free_pages: 10,
+            target_pages: 20,
+            host_pages_interval: 5,
+            fgc_cumulative: 0,
+            bgc_blocks_cumulative: 2,
+            waf: 1.5,
+        });
+        let v = JsonValue::parse(&report.to_json().to_pretty()).expect("reparse");
+        assert_eq!(v.get("ops").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("iops").unwrap().as_f64(), Some(1200.5));
+        assert!(v.get("prediction_accuracy_percent").unwrap().is_null());
+        let samples = v.get("timeline").unwrap().as_array().unwrap();
+        assert_eq!(
+            samples[0].get("bgc_blocks_cumulative").unwrap().as_u64(),
+            Some(2)
+        );
     }
 }

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the predictors and the manager.
 
 use jitgc_core::manager::JitGcManager;

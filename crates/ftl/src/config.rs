@@ -1,8 +1,8 @@
 //! FTL configuration.
 
 use jitgc_nand::{Geometry, NandTiming};
+use jitgc_sim::json::{JsonError, JsonValue, ObjectBuilder};
 use jitgc_sim::{ByteSize, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of an [`Ftl`](crate::Ftl).
 ///
@@ -25,7 +25,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(config.user_pages(), 10_000);
 /// assert!(config.op_pages() >= 700);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FtlConfig {
     user_pages: u64,
     op_permille: u64,
@@ -131,6 +132,71 @@ impl FtlConfig {
     #[must_use]
     pub fn timing(&self) -> &NandTiming {
         &self.timing
+    }
+
+    /// Serializes to the repository's JSON config format. The geometry is
+    /// not stored: [`from_json`](Self::from_json) re-derives it from the
+    /// same inputs [`build`](FtlConfigBuilder::build) uses.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("user_pages", self.user_pages)
+            .field("op_permille", self.op_permille)
+            .field("pages_per_block", self.geometry.pages_per_block())
+            .field("page_size_bytes", self.geometry.page_size().as_u64())
+            .field("gc_reserve_blocks", self.gc_reserve_blocks)
+            .field(
+                "sip_filter_threshold_permille",
+                self.sip_filter_threshold_permille,
+            )
+            .field("wear_level_threshold", self.wear_level_threshold)
+            .field("hot_cold_streams", self.hot_cold_streams)
+            .field("hot_window_us", self.hot_window.as_micros())
+            .field("endurance_limit", self.endurance_limit)
+            .field("timing", self.timing.to_json())
+            .build()
+    }
+
+    /// Parses the format written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let u64_field = |key: &str| -> Result<u64, JsonError> {
+            v.req(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be an integer")))
+        };
+        let u32_field = |key: &str| -> Result<u32, JsonError> {
+            u64_field(key)?
+                .try_into()
+                .map_err(|_| JsonError::new(format!("`{key}` out of range")))
+        };
+        let mut builder = FtlConfig::builder()
+            .user_pages(u64_field("user_pages")?)
+            .op_permille(u64_field("op_permille")?)
+            .pages_per_block(u32_field("pages_per_block")?)
+            .page_size_bytes(u64_field("page_size_bytes")?)
+            .gc_reserve_blocks(u32_field("gc_reserve_blocks")?)
+            .sip_filter_threshold_permille(u64_field("sip_filter_threshold_permille")?)
+            .wear_level_threshold(u64_field("wear_level_threshold")?)
+            .timing(NandTiming::from_json(v.req("timing")?)?);
+        if v.req("hot_cold_streams")?.as_bool().unwrap_or(false) {
+            builder =
+                builder.hot_cold_streams(SimDuration::from_micros(u64_field("hot_window_us")?));
+        }
+        match v.get("endurance_limit") {
+            None => {}
+            Some(limit) if limit.is_null() => {}
+            Some(limit) => {
+                let cycles = limit
+                    .as_u64()
+                    .ok_or_else(|| JsonError::new("`endurance_limit` must be an integer"))?;
+                builder = builder.endurance_limit(cycles);
+            }
+        }
+        Ok(builder.build())
     }
 }
 
@@ -280,8 +346,8 @@ impl FtlConfigBuilder {
         assert!(user_pages > 0, "user capacity must be non-zero");
         let op_pages = user_pages * self.op_permille / 1000;
         let data_blocks = (user_pages + op_pages).div_ceil(u64::from(self.pages_per_block));
-        let blocks = u32::try_from(data_blocks).expect("block count fits u32")
-            + self.gc_reserve_blocks;
+        let blocks =
+            u32::try_from(data_blocks).expect("block count fits u32") + self.gc_reserve_blocks;
         let geometry = Geometry::builder()
             .blocks(blocks)
             .pages_per_block(self.pages_per_block)
@@ -305,6 +371,39 @@ impl FtlConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let c = FtlConfig::builder()
+            .user_pages(5_000)
+            .op_permille(150)
+            .pages_per_block(64)
+            .page_size_bytes(8_192)
+            .gc_reserve_blocks(3)
+            .sip_filter_threshold_permille(400)
+            .wear_level_threshold(32)
+            .hot_cold_streams(SimDuration::from_secs(7))
+            .endurance_limit(3_000)
+            .timing(NandTiming::legacy_130nm())
+            .build();
+        let back = FtlConfig::from_json(&c.to_json()).expect("parse");
+        assert_eq!(back.user_pages(), c.user_pages());
+        assert_eq!(back.geometry(), c.geometry());
+        assert_eq!(back.timing(), c.timing());
+        assert_eq!(back.hot_window(), c.hot_window());
+        assert_eq!(back.endurance_limit(), c.endurance_limit());
+        assert_eq!(
+            back.sip_filter_threshold_permille(),
+            c.sip_filter_threshold_permille()
+        );
+    }
+
+    #[test]
+    fn json_endurance_limit_optional() {
+        let c = FtlConfig::builder().build();
+        let back = FtlConfig::from_json(&c.to_json()).expect("parse");
+        assert_eq!(back.endurance_limit(), None);
+    }
 
     #[test]
     fn derives_geometry_with_op_and_reserve() {

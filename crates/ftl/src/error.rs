@@ -32,7 +32,10 @@ impl fmt::Display for FtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FtlError::LpnOutOfRange { lpn, user_pages } => {
-                write!(f, "logical page {lpn} outside user space of {user_pages} pages")
+                write!(
+                    f,
+                    "logical page {lpn} outside user space of {user_pages} pages"
+                )
             }
             FtlError::LpnUnmapped { lpn } => write!(f, "logical page {lpn} has never been written"),
             FtlError::NoReclaimableSpace => {

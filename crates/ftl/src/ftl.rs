@@ -1,5 +1,6 @@
 //! The page-mapping FTL proper.
 
+use crate::victim_index::VictimIndex;
 use crate::{BlockInfo, FtlConfig, FtlError, FtlStats, SipList, VictimSelector};
 use jitgc_nand::{BlockId, Lpn, NandDevice, Ppn};
 use jitgc_sim::{ByteSize, SimDuration, SimTime};
@@ -80,6 +81,9 @@ pub struct Ftl {
     sip_counts: Vec<u32>,
     sip_filter_enabled: bool,
     selector: Box<dyn VictimSelector>,
+    /// Bucketed candidate index updated O(1) on seal/invalidate/erase;
+    /// tracks exactly the blocks victim selection may choose from.
+    victim_index: VictimIndex,
     stats: FtlStats,
 }
 
@@ -109,6 +113,7 @@ impl Ftl {
             sip_counts: vec![0; blocks as usize],
             sip_filter_enabled: true,
             selector,
+            victim_index: VictimIndex::new(blocks, config.geometry().pages_per_block()),
             stats: FtlStats::default(),
             device,
             config,
@@ -149,8 +154,9 @@ impl Ftl {
         // Out-of-place update: retire the previous copy.
         if let Some(old) = self.mapping[lpn.0 as usize] {
             self.device.invalidate(old)?;
+            let b = self.device.geometry().block_of(old);
+            self.victim_index.on_invalidate(b);
             if self.sip.remove(lpn) {
-                let b = self.device.geometry().block_of(old);
                 self.sip_counts[b.0 as usize] = self.sip_counts[b.0 as usize].saturating_sub(1);
             }
         } else {
@@ -201,8 +207,9 @@ impl Ftl {
         self.check_lpn(lpn)?;
         if let Some(old) = self.mapping[lpn.0 as usize].take() {
             self.device.invalidate(old)?;
+            let b = self.device.geometry().block_of(old);
+            self.victim_index.on_invalidate(b);
             if self.sip.remove(lpn) {
-                let b = self.device.geometry().block_of(old);
                 self.sip_counts[b.0 as usize] = self.sip_counts[b.0 as usize].saturating_sub(1);
             }
         }
@@ -245,6 +252,7 @@ impl Ftl {
                     let Some(v) = self.select_victim(now, true) else {
                         break;
                     };
+                    self.victim_index.remove(v);
                     self.gc_in_progress = Some(v);
                     v
                 }
@@ -320,6 +328,10 @@ impl Ftl {
         let new_ppn = self.device.geometry().ppn(gc_block, gc_offset);
         took += self.device.program(new_ppn, lpn)?;
         self.device.invalidate(old_ppn)?;
+        debug_assert!(
+            !self.victim_index.is_tracked(victim),
+            "migrating pages out of a block still tracked as a candidate"
+        );
         self.mapping[lpn.0 as usize] = Some(new_ppn);
         self.last_write[gc_block.0 as usize] = now;
         if self.sip.contains(lpn) {
@@ -345,6 +357,7 @@ impl Ftl {
             let victim = self
                 .select_victim(now, false)
                 .ok_or(FtlError::NoReclaimableSpace)?;
+            self.victim_index.remove(victim);
             let (duration, migrated) = self.collect_block(victim, now)?;
             outcome.duration += duration;
             outcome.blocks_erased += 1;
@@ -388,6 +401,10 @@ impl Ftl {
     /// block has exceeded its endurance limit — retires it as a bad block
     /// (capacity shrinks by one block) and returns `None`.
     fn erase_or_retire(&mut self, victim: BlockId) -> Option<SimDuration> {
+        debug_assert!(
+            !self.victim_index.is_tracked(victim),
+            "erasing a block still tracked as a candidate"
+        );
         match self.device.erase(victim) {
             Ok(took) => {
                 self.sip_counts[victim.0 as usize] = 0;
@@ -416,29 +433,89 @@ impl Ftl {
     /// fraction exceeds the configured threshold are avoided; if that
     /// filter would leave no candidate, the unfiltered choice is used.
     fn select_victim(&mut self, now: SimTime, background: bool) -> Option<BlockId> {
-        let candidates = self.candidate_infos();
-        let unfiltered = self
-            .selector
-            .select(&mut candidates.iter().copied(), now)?;
+        #[cfg(debug_assertions)]
+        self.debug_validate_victim_index();
+        let unfiltered = self.run_selector(now, None)?;
         if !background || !self.sip_filter_enabled || self.sip.is_empty() {
             return Some(unfiltered);
         }
 
         self.stats.sip_eligible_selections += 1;
         let threshold = self.config.sip_filter_threshold_permille();
-        let mut kept = candidates
-            .iter()
-            .copied()
-            .filter(|c| u64::from(c.sip_valid) * 1000 <= u64::from(c.valid) * threshold);
-        let choice = self.selector.select(&mut kept, now).unwrap_or(unfiltered);
+        let choice = self
+            .run_selector(now, Some(threshold))
+            .unwrap_or(unfiltered);
         if choice != unfiltered {
             self.stats.sip_filtered_selections += 1;
         }
         Some(choice)
     }
 
-    fn candidate_infos(&self) -> Vec<BlockInfo> {
-        self.device
+    /// Runs the installed selector over the victim index. With a SIP
+    /// threshold, candidates whose soon-to-be-invalidated fraction exceeds
+    /// it are withheld from the selector.
+    ///
+    /// Frontier selectors ([`VictimSelector::uses_min_valid_frontier`])
+    /// see only the lowest eligible valid-count bucket — an O(1) hop per
+    /// selection instead of the O(blocks) scan this replaces. Other
+    /// selectors iterate the tracked set in block-id order, reproducing
+    /// the exact candidate sequence (and therefore the exact choice, RNG
+    /// draws included) of a full device scan.
+    fn run_selector(&mut self, now: SimTime, sip_threshold: Option<u64>) -> Option<BlockId> {
+        let selector = &mut self.selector;
+        let device = &self.device;
+        let index = &self.victim_index;
+        let last_write = &self.last_write;
+        let sip_counts = &self.sip_counts;
+        let passes = |b: BlockId, valid: u32| match sip_threshold {
+            None => true,
+            Some(t) => u64::from(sip_counts[b.0 as usize]) * 1000 <= u64::from(valid) * t,
+        };
+        let info = |b: BlockId| {
+            let block = device.block(b);
+            BlockInfo {
+                id: b,
+                valid: block.valid_pages(),
+                invalid: block.invalid_pages(),
+                pages: block.pages(),
+                erase_count: block.erase_count(),
+                last_write: last_write[b.0 as usize],
+                sip_valid: sip_counts[b.0 as usize],
+            }
+        };
+        if selector.uses_min_valid_frontier() {
+            // The bucket at pages_per_block holds fully-valid blocks,
+            // which have nothing to reclaim and are never picked.
+            for valid in 0..index.pages_per_block() {
+                let bucket = index.bucket(valid);
+                if !bucket.iter().any(|&b| passes(b, valid)) {
+                    continue;
+                }
+                let mut frontier = bucket
+                    .iter()
+                    .copied()
+                    .filter(|&b| passes(b, valid))
+                    .map(info);
+                return selector.select(&mut frontier, now);
+            }
+            None
+        } else {
+            let mut candidates = index
+                .iter_ids()
+                .filter(|&(b, valid)| passes(b, valid))
+                .map(|(b, _)| info(b));
+            selector.select(&mut candidates, now)
+        }
+    }
+
+    /// Debug-build cross-check: the incrementally maintained victim index
+    /// must agree — membership and valid counts — with a full device scan
+    /// over the candidate filter it replaces. Runs on every victim
+    /// selection and wear-leveling pass in tests.
+    #[cfg(debug_assertions)]
+    fn debug_validate_victim_index(&self) {
+        let expected: Vec<(BlockId, u32)> = self
+            .device
             .geometry()
             .block_ids()
             .filter(|b| {
@@ -449,19 +526,19 @@ impl Ftl {
                     && self.active_gc != Some(*b)
                     && self.gc_in_progress != Some(*b)
             })
-            .map(|b| {
-                let block = self.device.block(b);
-                BlockInfo {
-                    id: b,
-                    valid: block.valid_pages(),
-                    invalid: block.invalid_pages(),
-                    pages: block.pages(),
-                    erase_count: block.erase_count(),
-                    last_write: self.last_write[b.0 as usize],
-                    sip_valid: self.sip_counts[b.0 as usize],
-                }
-            })
-            .collect()
+            .map(|b| (b, self.device.block(b).valid_pages()))
+            .collect();
+        let actual: Vec<(BlockId, u32)> = self.victim_index.iter_ids().collect();
+        assert_eq!(
+            actual, expected,
+            "victim index diverged from the full candidate scan"
+        );
+        for &(b, _) in &actual {
+            debug_assert!(
+                self.device.block(b).is_full(),
+                "tracked candidate {b} is not sealed"
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -478,8 +555,13 @@ impl Ftl {
             return Ok(WearLevelOutcome::default());
         }
         // Coldest sealed candidate: minimum erase count.
-        let candidates = self.candidate_infos();
-        let Some(coldest) = candidates.iter().min_by_key(|c| (c.erase_count, c.id)) else {
+        #[cfg(debug_assertions)]
+        self.debug_validate_victim_index();
+        let Some((coldest, _)) = self
+            .victim_index
+            .iter_ids()
+            .min_by_key(|&(b, _)| (self.device.block(b).erase_count(), b))
+        else {
             return Ok(WearLevelOutcome::default());
         };
         // Steer the relocation into the most-worn free block by making it
@@ -496,10 +578,12 @@ impl Ftl {
             {
                 let hot = self.free_blocks.swap_remove(hot_idx);
                 self.is_free[hot.0 as usize] = false;
-                self.active_gc = Some(hot);
+                if let Some(full) = self.active_gc.replace(hot) {
+                    self.seal(full);
+                }
             }
         }
-        let coldest = coldest.id;
+        self.victim_index.remove(coldest);
         let (duration, moved) = self.collect_block(coldest, now)?;
         self.stats.wear_level_migrations += moved;
         self.stats.wear_level_blocks += 1;
@@ -567,8 +651,7 @@ impl Ftl {
     /// when an SSD is filled with a large amount of user data".
     #[must_use]
     pub fn reclaimable_capacity(&self) -> ByteSize {
-        self.config.geometry().page_size()
-            * (self.free_pages() + self.device.total_invalid_pages())
+        self.config.geometry().page_size() * (self.free_pages() + self.device.total_invalid_pages())
     }
 
     /// Zeroes every statistics counter (FTL and NAND operation counters)
@@ -657,7 +740,11 @@ impl Ftl {
     }
 
     fn needs_active_block(&self, hot: bool) -> bool {
-        let active = if hot { self.active_hot } else { self.active_user };
+        let active = if hot {
+            self.active_hot
+        } else {
+            self.active_user
+        };
         match active {
             None => true,
             Some(b) => self.device.block(b).is_full(),
@@ -672,16 +759,23 @@ impl Ftl {
 
     fn ensure_active_block(&mut self, hot: bool) -> Result<BlockId, FtlError> {
         if !self.needs_active_block(hot) {
-            let active = if hot { self.active_hot } else { self.active_user };
+            let active = if hot {
+                self.active_hot
+            } else {
+                self.active_user
+            };
             return Ok(active.expect("checked present"));
         }
         let block = self
             .allocate_least_worn()
             .ok_or(FtlError::NoReclaimableSpace)?;
-        if hot {
-            self.active_hot = Some(block);
+        let sealed = if hot {
+            self.active_hot.replace(block)
         } else {
-            self.active_user = Some(block);
+            self.active_user.replace(block)
+        };
+        if let Some(full) = sealed {
+            self.seal(full);
         }
         Ok(block)
     }
@@ -695,9 +789,21 @@ impl Ftl {
             let block = self
                 .allocate_least_worn()
                 .ok_or(FtlError::NoReclaimableSpace)?;
-            self.active_gc = Some(block);
+            if let Some(full) = self.active_gc.replace(block) {
+                self.seal(full);
+            }
         }
         Ok(self.active_gc.expect("just ensured"))
+    }
+
+    /// Registers a just-closed (full) active block as a GC candidate.
+    fn seal(&mut self, block: BlockId) {
+        debug_assert!(
+            self.device.block(block).is_full(),
+            "sealing a block that still has free pages"
+        );
+        self.victim_index
+            .insert(block, self.device.block(block).valid_pages());
     }
 
     fn allocate_least_worn(&mut self) -> Option<BlockId> {
@@ -897,7 +1003,8 @@ mod tests {
         ftl.set_sip_list(sip);
         // Overwriting a SIP page removes it from the list.
         ftl.host_write(Lpn(0), t(1)).expect("in range");
-        ftl.host_write(Lpn(999).min(Lpn(15)), t(1)).expect("in range");
+        ftl.host_write(Lpn(999).min(Lpn(15)), t(1))
+            .expect("in range");
         // Re-install to verify recomputation path too.
         let sip2: SipList = (0..4u64).map(Lpn).collect();
         ftl.set_sip_list(sip2);
@@ -923,7 +1030,8 @@ mod tests {
         }
         let sip: SipList = [Lpn(4), Lpn(5), Lpn(6), Lpn(7)].into_iter().collect();
         ftl.set_sip_list(sip);
-        let out = ftl.background_collect(t(2), SimDuration::from_secs(1), Some(ftl.free_pages() + 4));
+        let out =
+            ftl.background_collect(t(2), SimDuration::from_secs(1), Some(ftl.free_pages() + 4));
         assert!(out.blocks_erased >= 1);
         assert!(
             ftl.stats().sip_filtered_selections >= 1,
@@ -1069,10 +1177,14 @@ mod tests {
             ftl.background_collect(t(round), SimDuration::from_secs(1), None);
             round += 1;
         }
-        assert!(ftl.retired_blocks() > 0, "no block retired after {round} rounds");
+        assert!(
+            ftl.retired_blocks() > 0,
+            "no block retired after {round} rounds"
+        );
         // The FTL keeps serving I/O after retirements.
         for lpn in 0..16u64 {
-            ftl.host_write(Lpn(lpn), t(round + 1)).expect("still serving");
+            ftl.host_write(Lpn(lpn), t(round + 1))
+                .expect("still serving");
             assert!(ftl.host_read(Lpn(lpn), t(round + 1)).is_ok());
         }
         // Accounting: retired blocks are neither free nor candidates, and
@@ -1099,7 +1211,8 @@ mod tests {
             let mut ftl = small_ftl();
             for round in 0..10u64 {
                 for lpn in 0..64u64 {
-                    ftl.host_write(Lpn((lpn * 7) % 64), t(round)).expect("in range");
+                    ftl.host_write(Lpn((lpn * 7) % 64), t(round))
+                        .expect("in range");
                 }
                 ftl.background_collect(t(round), SimDuration::from_millis(50), None);
             }

@@ -51,6 +51,7 @@ mod ftl;
 mod sip;
 mod stats;
 mod victim;
+mod victim_index;
 
 pub use config::{FtlConfig, FtlConfigBuilder};
 pub use error::FtlError;

@@ -1,14 +1,14 @@
 //! FTL-level statistics.
 
 use jitgc_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Cumulative counters for one [`Ftl`](crate::Ftl) instance.
 ///
 /// The headline metric is [`waf`](FtlStats::waf): the Write Amplification
 /// Factor, NAND page programs divided by host page writes — the paper's
 /// lifetime proxy (Fig. 2(b), Fig. 7(b)). The SIP counters feed Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FtlStats {
     /// Pages written by the host (flushes + direct writes).
     pub host_pages_written: u64,
@@ -55,8 +55,7 @@ impl FtlStats {
     /// wear-leveling copies inflate the numerator; 1.0 is the ideal.
     #[must_use]
     pub fn waf(&self, nand_programs: u64) -> Option<f64> {
-        (self.host_pages_written > 0)
-            .then(|| nand_programs as f64 / self.host_pages_written as f64)
+        (self.host_pages_written > 0).then(|| nand_programs as f64 / self.host_pages_written as f64)
     }
 
     /// Fraction of victim selections the SIP filter redirected, as reported

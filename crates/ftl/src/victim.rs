@@ -46,6 +46,19 @@ pub trait VictimSelector: std::fmt::Debug {
         candidates: &mut dyn Iterator<Item = BlockInfo>,
         now: SimTime,
     ) -> Option<BlockId>;
+
+    /// `true` when this selector's choice depends only on the candidates'
+    /// valid-page counts (lower is better) with deterministic tie-breaks.
+    ///
+    /// The FTL maintains candidates bucketed by valid count; a frontier
+    /// selector is handed just the lowest reclaimable bucket — an O(1)
+    /// lookup instead of a full candidate iteration — and must pick the
+    /// same block it would pick from the full sequence. Selectors whose
+    /// score involves anything else (age, wear, randomness) must leave
+    /// this `false`.
+    fn uses_min_valid_frontier(&self) -> bool {
+        false
+    }
 }
 
 /// Greedy selection: the block with the fewest valid pages (cheapest to
@@ -71,6 +84,10 @@ impl VictimSelector for GreedySelector {
             .filter(|c| c.invalid > 0)
             .min_by_key(|c| (c.valid, c.id))
             .map(|c| c.id)
+    }
+
+    fn uses_min_valid_frontier(&self) -> bool {
+        true
     }
 }
 
@@ -155,10 +172,7 @@ impl VictimSelector for RandomSelector {
         candidates: &mut dyn Iterator<Item = BlockInfo>,
         _now: SimTime,
     ) -> Option<BlockId> {
-        let pool: Vec<BlockId> = candidates
-            .filter(|c| c.invalid > 0)
-            .map(|c| c.id)
-            .collect();
+        let pool: Vec<BlockId> = candidates.filter(|c| c.invalid > 0).map(|c| c.id).collect();
         if pool.is_empty() {
             None
         } else {

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the FTL's core invariants.
 
 use jitgc_ftl::{Ftl, FtlConfig, FtlError, GreedySelector, Lpn, SipList};

@@ -1,6 +1,5 @@
 //! Address newtypes: logical pages, physical pages, and blocks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A **logical** page number — the host-visible address space.
@@ -9,22 +8,19 @@ use std::fmt;
 /// stores the owning `Lpn` in each programmed page's out-of-band (OOB) area
 /// so garbage collection can relocate pages without a reverse-map lookup,
 /// exactly as production FTLs do.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Lpn(pub u64);
 
 /// A **physical** page number, indexing pages across the whole device in
 /// block-major order: `ppn = block.0 × pages_per_block + offset`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ppn(pub u64);
 
 /// A physical erase-block number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockId(pub u32);
 
 impl Lpn {
@@ -114,6 +110,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let l = Lpn(77);
         let json = serde_json::to_string(&l).expect("serialize");

@@ -1,10 +1,10 @@
 //! Per-block page state machine.
 
 use crate::{Lpn, NandError, Ppn};
-use serde::{Deserialize, Serialize};
 
 /// The lifecycle state of one physical page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PageState {
     /// Erased and programmable (once).
     Free,
@@ -39,7 +39,8 @@ pub enum PageState {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
     states: Vec<PageState>,
     oob: Vec<Option<Lpn>>,
@@ -199,7 +200,9 @@ impl Block {
     /// Iterates the offsets and LPNs of all currently valid pages — the set
     /// GC must migrate before erasing this block.
     pub fn valid_lpns(&self) -> impl Iterator<Item = (u32, Lpn)> + '_ {
-        self.iter_pages().filter(|&(_off, state, _lpn)| state == PageState::Valid).map(|(off, _state, lpn)| (off, lpn.expect("valid page has OOB lpn")))
+        self.iter_pages()
+            .filter(|&(_off, state, _lpn)| state == PageState::Valid)
+            .map(|(off, _state, lpn)| (off, lpn.expect("valid page has OOB lpn")))
     }
 }
 

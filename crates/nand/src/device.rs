@@ -1,7 +1,8 @@
 //! The whole-device NAND model.
 
-use crate::{Block, BlockId, Geometry, Lpn, NandError, NandStats, NandTiming, PageState, Ppn,
-            WearReport};
+use crate::{
+    Block, BlockId, Geometry, Lpn, NandError, NandStats, NandTiming, PageState, Ppn, WearReport,
+};
 use jitgc_sim::SimDuration;
 
 /// A NAND flash device: a flat array of erase blocks plus a timing model
@@ -35,6 +36,12 @@ pub struct NandDevice {
     blocks: Vec<Block>,
     stats: NandStats,
     endurance_limit: Option<u64>,
+    /// Device-wide page-state tallies, maintained incrementally on every
+    /// program/invalidate/erase so `total_*_pages()` — polled by the GC
+    /// policies on the hot path — never scans the block array.
+    valid_total: u64,
+    invalid_total: u64,
+    free_total: u64,
 }
 
 impl NandDevice {
@@ -45,11 +52,14 @@ impl NandDevice {
             .map(|_| Block::new(geometry.pages_per_block()))
             .collect();
         NandDevice {
+            free_total: geometry.total_pages(),
             geometry,
             timing,
             blocks,
             stats: NandStats::default(),
             endurance_limit: None,
+            valid_total: 0,
+            invalid_total: 0,
         }
     }
 
@@ -166,6 +176,8 @@ impl NandDevice {
             }
             Some(_) => {
                 block.program_next(lpn).expect("offset checked free");
+                self.free_total -= 1;
+                self.valid_total += 1;
                 let cost = self.timing.page_program_cost();
                 self.stats.programs += 1;
                 self.stats.program_time += cost;
@@ -188,7 +200,11 @@ impl NandDevice {
                 return Err(NandError::BlockWornOut { block, limit });
             }
         }
-        self.blocks[block.0 as usize].erase();
+        let b = &mut self.blocks[block.0 as usize];
+        self.valid_total -= u64::from(b.valid_pages());
+        self.invalid_total -= u64::from(b.invalid_pages());
+        self.free_total += u64::from(b.pages()) - u64::from(b.free_pages());
+        b.erase();
         let cost = self.timing.block_erase_cost();
         self.stats.erases += 1;
         self.stats.erase_time += cost;
@@ -208,6 +224,8 @@ impl NandDevice {
         self.blocks[block.0 as usize]
             .invalidate(offset)
             .map_err(|_| NandError::InvalidateNonValidPage { ppn })?;
+        self.valid_total -= 1;
+        self.invalid_total += 1;
         self.stats.invalidations += 1;
         Ok(())
     }
@@ -236,25 +254,50 @@ impl NandDevice {
         self.blocks[block.0 as usize].page_lpn(offset)
     }
 
-    /// Total valid pages across the device.
+    /// Total valid pages across the device. O(1): read from the
+    /// incrementally maintained tally (debug builds re-derive it from the
+    /// block array and assert agreement).
     #[must_use]
     pub fn total_valid_pages(&self) -> u64 {
-        self.blocks.iter().map(|b| u64::from(b.valid_pages())).sum()
+        debug_assert_eq!(
+            self.valid_total,
+            self.blocks
+                .iter()
+                .map(|b| u64::from(b.valid_pages()))
+                .sum::<u64>(),
+            "valid-page tally diverged from the block array"
+        );
+        self.valid_total
     }
 
-    /// Total invalid pages across the device.
+    /// Total invalid pages across the device. O(1), see
+    /// [`total_valid_pages`](Self::total_valid_pages).
     #[must_use]
     pub fn total_invalid_pages(&self) -> u64 {
-        self.blocks
-            .iter()
-            .map(|b| u64::from(b.invalid_pages()))
-            .sum()
+        debug_assert_eq!(
+            self.invalid_total,
+            self.blocks
+                .iter()
+                .map(|b| u64::from(b.invalid_pages()))
+                .sum::<u64>(),
+            "invalid-page tally diverged from the block array"
+        );
+        self.invalid_total
     }
 
-    /// Total free (programmable) pages across the device.
+    /// Total free (programmable) pages across the device. O(1), see
+    /// [`total_valid_pages`](Self::total_valid_pages).
     #[must_use]
     pub fn total_free_pages(&self) -> u64 {
-        self.blocks.iter().map(|b| u64::from(b.free_pages())).sum()
+        debug_assert_eq!(
+            self.free_total,
+            self.blocks
+                .iter()
+                .map(|b| u64::from(b.free_pages()))
+                .sum::<u64>(),
+            "free-page tally diverged from the block array"
+        );
+        self.free_total
     }
 
     /// The wear distribution across blocks.
@@ -427,8 +470,7 @@ mod tests {
         dev.read(Ppn(0)).expect("programmed");
         dev.erase(BlockId(1)).expect("in range");
         let t = dev.timing();
-        let expected =
-            t.page_program_cost() + t.page_read_cost() + t.block_erase_cost();
+        let expected = t.page_program_cost() + t.page_read_cost() + t.block_erase_cost();
         assert_eq!(dev.stats().busy_time(), expected);
     }
 }

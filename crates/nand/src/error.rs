@@ -62,7 +62,10 @@ impl fmt::Display for NandError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NandError::PpnOutOfRange { ppn, total_pages } => {
-                write!(f, "physical page {ppn} outside device of {total_pages} pages")
+                write!(
+                    f,
+                    "physical page {ppn} outside device of {total_pages} pages"
+                )
             }
             NandError::BlockOutOfRange {
                 block,
@@ -87,7 +90,10 @@ impl fmt::Display for NandError {
                 write!(f, "invalidate of non-valid page {ppn}")
             }
             NandError::BlockWornOut { block, limit } => {
-                write!(f, "block {block} exceeded endurance limit of {limit} erases")
+                write!(
+                    f,
+                    "block {block} exceeded endurance limit of {limit} erases"
+                )
             }
         }
     }

@@ -2,7 +2,6 @@
 
 use crate::{BlockId, Ppn};
 use jitgc_sim::ByteSize;
-use serde::{Deserialize, Serialize};
 
 /// The physical shape of a NAND device.
 ///
@@ -28,7 +27,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.page_offset(Ppn(129)), 1);
 /// assert_eq!(g.ppn(BlockId(1), 1), Ppn(129));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Geometry {
     blocks: u32,
     pages_per_block: u32,

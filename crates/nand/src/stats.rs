@@ -1,14 +1,15 @@
 //! Operation and wear accounting.
 
+use jitgc_sim::json::{JsonValue, ObjectBuilder};
 use jitgc_sim::stats::RunningStats;
 use jitgc_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Cumulative operation counters for a NAND device.
 ///
 /// `programs` is the numerator of the Write Amplification Factor; the FTL
 /// divides it by host-issued page writes to report WAF.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NandStats {
     /// Pages read.
     pub reads: u64,
@@ -50,7 +51,8 @@ impl NandStats {
 /// assert_eq!(wear.total, 0);
 /// assert_eq!(wear.max, 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WearReport {
     /// Sum of erase counts over all blocks.
     pub total: u64,
@@ -86,6 +88,18 @@ impl WearReport {
             mean: stats.mean().expect("non-empty"),
             std_dev: stats.population_std_dev().expect("non-empty"),
         }
+    }
+
+    /// Serializes to the repository's JSON report format.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("total", self.total)
+            .field("min", self.min)
+            .field("max", self.max)
+            .field("mean", self.mean)
+            .field("std_dev", self.std_dev)
+            .build()
     }
 }
 

@@ -1,7 +1,7 @@
 //! Operation timing models for different NAND generations.
 
+use jitgc_sim::json::{JsonError, JsonValue, ObjectBuilder};
 use jitgc_sim::{ByteSize, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Latency parameters of a NAND device plus the striping parallelism the
 /// controller can exploit.
@@ -30,7 +30,8 @@ use serde::{Deserialize, Serialize};
 /// // Effective program cost is raw cost / parallelism.
 /// assert!(t.page_program_cost() < t.raw_program_time());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NandTiming {
     read: SimDuration,
     program: SimDuration,
@@ -169,6 +170,46 @@ impl NandTiming {
     fn amortize(raw: SimDuration, parallelism: u32) -> SimDuration {
         (raw / u64::from(parallelism)).max(SimDuration::from_micros(1))
     }
+
+    /// Serializes to the repository's JSON config format (all durations in
+    /// microseconds).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("read_us", self.read.as_micros())
+            .field("program_us", self.program.as_micros())
+            .field("erase_us", self.erase.as_micros())
+            .field("transfer_per_page_us", self.transfer_per_page.as_micros())
+            .field("parallelism", self.parallelism)
+            .build()
+    }
+
+    /// Parses the format written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let micros = |key: &str| -> Result<SimDuration, JsonError> {
+            v.req(key)?
+                .as_u64()
+                .map(SimDuration::from_micros)
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be an integer")))
+        };
+        let parallelism = v
+            .req("parallelism")?
+            .as_u64()
+            .and_then(|p| u32::try_from(p).ok())
+            .filter(|&p| p > 0)
+            .ok_or_else(|| JsonError::new("`parallelism` must be a positive integer"))?;
+        Ok(NandTiming::new(
+            micros("read_us")?,
+            micros("program_us")?,
+            micros("erase_us")?,
+            micros("transfer_per_page_us")?,
+            parallelism,
+        ))
+    }
 }
 
 impl Default for NandTiming {
@@ -180,6 +221,14 @@ impl Default for NandTiming {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let t = NandTiming::dense_25nm();
+        let back = NandTiming::from_json(&t.to_json()).expect("parse");
+        assert_eq!(back, t);
+        assert!(NandTiming::from_json(&JsonValue::parse("{}").unwrap()).is_err());
+    }
 
     #[test]
     fn presets_match_paper_numbers() {

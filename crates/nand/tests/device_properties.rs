@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the NAND device state machine.
 
 use jitgc_nand::{Geometry, Lpn, NandDevice, NandError, NandTiming, PageState, Ppn};

@@ -1,9 +1,30 @@
 //! The write-back page cache proper.
+//!
+//! # Data layout
+//!
+//! The cache used to keep a `HashMap<Lpn, Entry>` plus two `BTreeSet`
+//! orderings (dirty-by-age, clean-by-recency). Every write and every
+//! flusher step paid two tree updates with pointer-heavy node traffic.
+//! It is now a **flat slab**: one `Vec<Slot>` holding every cached page,
+//! an [`FxHashMap`] from `Lpn` to slot index, and two intrusive doubly
+//! linked lists threaded through the slots with `u32` indices:
+//!
+//! * the **dirty list**, oldest first by `(last_update, seq)` — the
+//!   flusher pops from its head, and [`PageCache::dirty_pages`] walks it
+//!   without allocating;
+//! * the **clean list** in LRU order — eviction pops the head, touches
+//!   move a slot to the tail in O(1).
+//!
+//! Buffered writes almost always carry the youngest timestamp, so the
+//! dirty list's sorted insert scans backward from the tail and is O(1)
+//! in practice; it stays correct when the caller's clock is not
+//! monotone (overlapping requests at queue depth > 1). Freed slots are
+//! recycled through a free list threaded over the same `next` links, so
+//! the slab never exceeds the configured capacity.
 
 use crate::{PageCacheConfig, PageCacheStats};
 use jitgc_nand::Lpn;
-use jitgc_sim::SimTime;
-use std::collections::{BTreeSet, HashMap};
+use jitgc_sim::{FxHashMap, SimTime};
 
 /// What a buffered write did to the cache.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -25,14 +46,20 @@ pub struct FlushBatch {
     pub expired: usize,
 }
 
+/// Index sentinel terminating the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// One cached page. A slot is always on exactly one list: dirty, clean,
+/// or (when unoccupied) the free list, which reuses `next`.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
+struct Slot {
+    lpn: Lpn,
     dirty: bool,
     last_update: SimTime,
     /// Sequence number breaking age ties deterministically.
     seq: u64,
-    /// LRU tick (meaningful for clean entries).
-    tick: u64,
+    prev: u32,
+    next: u32,
 }
 
 /// A bounded write-back page cache with Linux-flusher semantics.
@@ -42,13 +69,18 @@ struct Entry {
 #[derive(Debug)]
 pub struct PageCache {
     config: PageCacheConfig,
-    entries: HashMap<Lpn, Entry>,
-    /// Dirty pages ordered oldest-first by (last_update, seq).
-    dirty_order: BTreeSet<(SimTime, u64, Lpn)>,
-    /// Clean pages ordered least-recently-used first by (tick).
-    clean_order: BTreeSet<(u64, Lpn)>,
+    slots: Vec<Slot>,
+    slot_of: FxHashMap<Lpn, u32>,
+    /// Head of the free-slot list (threaded through `next`).
+    free_head: u32,
+    /// Dirty pages, oldest first by `(last_update, seq)`.
+    dirty_head: u32,
+    dirty_tail: u32,
+    dirty_len: u64,
+    /// Clean pages, least recently used at the head.
+    clean_head: u32,
+    clean_tail: u32,
     next_seq: u64,
-    next_tick: u64,
     stats: PageCacheStats,
 }
 
@@ -58,11 +90,15 @@ impl PageCache {
     pub fn new(config: PageCacheConfig) -> Self {
         PageCache {
             config,
-            entries: HashMap::new(),
-            dirty_order: BTreeSet::new(),
-            clean_order: BTreeSet::new(),
+            slots: Vec::new(),
+            slot_of: FxHashMap::default(),
+            free_head: NIL,
+            dirty_head: NIL,
+            dirty_tail: NIL,
+            dirty_len: 0,
+            clean_head: NIL,
+            clean_tail: NIL,
             next_seq: 0,
-            next_tick: 0,
             stats: PageCacheStats::default(),
         }
     }
@@ -82,31 +118,33 @@ impl PageCache {
     /// Number of cached pages (dirty + clean).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slot_of.len()
     }
 
     /// `true` when nothing is cached.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slot_of.is_empty()
     }
 
     /// Number of dirty pages.
     #[must_use]
     pub fn dirty_count(&self) -> u64 {
-        self.dirty_order.len() as u64
+        self.dirty_len
     }
 
     /// `true` if `lpn` is cached (dirty or clean).
     #[must_use]
     pub fn contains(&self, lpn: Lpn) -> bool {
-        self.entries.contains_key(&lpn)
+        self.slot_of.contains_key(&lpn)
     }
 
     /// `true` if `lpn` is cached dirty.
     #[must_use]
     pub fn is_dirty(&self, lpn: Lpn) -> bool {
-        self.entries.get(&lpn).is_some_and(|e| e.dirty)
+        self.slot_of
+            .get(&lpn)
+            .is_some_and(|&i| self.slots[i as usize].dirty)
     }
 
     /// A buffered write: marks `lpn` dirty with age zero. Rewriting an
@@ -118,71 +156,67 @@ impl PageCache {
     pub fn write(&mut self, lpn: Lpn, now: SimTime) -> WriteEffect {
         self.stats.writes += 1;
         let mut effect = WriteEffect::default();
-        if let Some(entry) = self.entries.get(&lpn).copied() {
-            if entry.dirty {
-                self.dirty_order
-                    .remove(&(entry.last_update, entry.seq, lpn));
-            } else {
-                self.clean_order.remove(&(entry.tick, lpn));
+        let idx = if let Some(&i) = self.slot_of.get(&lpn) {
+            self.unlink(i);
+            i
+        } else {
+            if self.slot_of.len() as u64 >= self.config.capacity_pages() {
+                if let Some(victim) = self.evict_one() {
+                    effect.forced_writebacks.push(victim);
+                }
             }
-        } else if self.entries.len() as u64 >= self.config.capacity_pages() {
-            if let Some(victim) = self.evict_one() {
-                effect.forced_writebacks.push(victim);
-            }
-        }
+            self.alloc_slot(lpn)
+        };
         let seq = self.bump_seq();
-        let tick = self.bump_tick();
-        self.entries.insert(
-            lpn,
-            Entry {
-                dirty: true,
-                last_update: now,
-                seq,
-                tick,
-            },
-        );
-        self.dirty_order.insert((now, seq, lpn));
+        {
+            let slot = &mut self.slots[idx as usize];
+            slot.dirty = true;
+            slot.last_update = now;
+            slot.seq = seq;
+        }
+        self.dirty_insert_sorted(idx);
         effect
     }
 
     /// A buffered read: returns `true` on a cache hit. On a miss the page
     /// is assumed fetched from the device and cached clean.
     pub fn read(&mut self, lpn: Lpn, _now: SimTime) -> bool {
-        if let Some(entry) = self.entries.get(&lpn).copied() {
+        if let Some(&i) = self.slot_of.get(&lpn) {
             self.stats.read_hits += 1;
-            if !entry.dirty {
-                // Refresh LRU position.
-                self.clean_order.remove(&(entry.tick, lpn));
-                let tick = self.bump_tick();
-                self.clean_order.insert((tick, lpn));
-                self.entries
-                    .get_mut(&lpn)
-                    .expect("entry present")
-                    .tick = tick;
+            if !self.slots[i as usize].dirty {
+                // Refresh LRU position: move to the most-recent tail.
+                self.unlink(i);
+                Self::link_tail(
+                    &mut self.slots,
+                    &mut self.clean_head,
+                    &mut self.clean_tail,
+                    i,
+                );
             }
             true
         } else {
             self.stats.read_misses += 1;
-            if self.entries.len() as u64 >= self.config.capacity_pages() {
+            if self.slot_of.len() as u64 >= self.config.capacity_pages() {
                 // Reads never force dirty writebacks; if everything is
                 // dirty the fetched page simply is not cached.
-                if self.clean_order.is_empty() {
+                if self.clean_head == NIL {
                     return false;
                 }
                 self.evict_one();
             }
-            let seq = self.bump_seq();
-            let tick = self.bump_tick();
-            self.entries.insert(
-                lpn,
-                Entry {
-                    dirty: false,
-                    last_update: SimTime::ZERO,
-                    seq,
-                    tick,
-                },
+            let i = self.alloc_slot(lpn);
+            {
+                let slot = &mut self.slots[i as usize];
+                slot.dirty = false;
+                slot.last_update = SimTime::ZERO;
+                slot.seq = 0;
+            }
+            Self::link_tail(
+                &mut self.slots,
+                &mut self.clean_head,
+                &mut self.clean_tail,
+                i,
             );
-            self.clean_order.insert((tick, lpn));
             false
         }
     }
@@ -203,15 +237,17 @@ impl PageCache {
     pub fn flusher_tick(&mut self, now: SimTime) -> FlushBatch {
         let mut batch = FlushBatch::default();
         let threshold = self.config.flush_threshold_pages();
-        if self.dirty_order.len() as u64 <= threshold {
+        if self.dirty_len <= threshold {
             return batch;
         }
-        while let Some(&(last_update, seq, lpn)) = self.dirty_order.first() {
-            if now.saturating_since(last_update) < self.config.tau_expire() {
+        while self.dirty_head != NIL {
+            let head = self.dirty_head;
+            let slot = &self.slots[head as usize];
+            if now.saturating_since(slot.last_update) < self.config.tau_expire() {
                 break;
             }
-            self.dirty_order.remove(&(last_update, seq, lpn));
-            self.mark_clean(lpn);
+            let lpn = slot.lpn;
+            self.mark_clean(head);
             batch.lpns.push(lpn);
             batch.expired += 1;
         }
@@ -221,8 +257,20 @@ impl PageCache {
 
     /// Scans dirty pages oldest-first, yielding `(lpn, last_update)` — the
     /// exact information the paper's buffered-write predictor extracts.
+    /// A pointer walk over the intrusive dirty list: no allocation, no
+    /// tree traversal.
     pub fn dirty_pages(&self) -> impl Iterator<Item = (Lpn, SimTime)> + '_ {
-        self.dirty_order.iter().map(|&(t, _, lpn)| (lpn, t))
+        std::iter::successors(
+            (self.dirty_head != NIL).then_some(self.dirty_head),
+            move |&i| {
+                let next = self.slots[i as usize].next;
+                (next != NIL).then_some(next)
+            },
+        )
+        .map(move |i| {
+            let slot = &self.slots[i as usize];
+            (slot.lpn, slot.last_update)
+        })
     }
 
     /// Writer throttling (Linux `balance_dirty_pages`): when total dirty
@@ -232,14 +280,15 @@ impl PageCache {
     /// caller must now submit to the device; they stay cached clean.
     pub fn throttle_excess(&mut self) -> Vec<Lpn> {
         let mut out = Vec::new();
-        if self.dirty_order.len() as u64 <= self.config.throttle_threshold_pages() {
+        if self.dirty_len <= self.config.throttle_threshold_pages() {
             return out;
         }
         let floor = self.config.flush_threshold_pages();
-        while self.dirty_order.len() as u64 > floor {
-            let &(last_update, seq, lpn) = self.dirty_order.first().expect("over threshold");
-            self.dirty_order.remove(&(last_update, seq, lpn));
-            self.mark_clean(lpn);
+        while self.dirty_len > floor {
+            let head = self.dirty_head;
+            debug_assert_ne!(head, NIL, "dirty_len over floor with empty list");
+            let lpn = self.slots[head as usize].lpn;
+            self.mark_clean(head);
             out.push(lpn);
         }
         self.stats.throttled_writebacks += out.len() as u64;
@@ -252,36 +301,148 @@ impl PageCache {
     ///
     /// Returns `true` if the page was cached.
     pub fn invalidate(&mut self, lpn: Lpn) -> bool {
-        let Some(entry) = self.entries.remove(&lpn) else {
+        let Some(i) = self.slot_of.remove(&lpn) else {
             return false;
         };
-        if entry.dirty {
-            self.dirty_order.remove(&(entry.last_update, entry.seq, lpn));
-        } else {
-            self.clean_order.remove(&(entry.tick, lpn));
-        }
+        self.unlink(i);
+        self.free_slot(i);
         true
     }
 
-    fn mark_clean(&mut self, lpn: Lpn) {
-        let tick = self.bump_tick();
-        let entry = self.entries.get_mut(&lpn).expect("flushed page cached");
-        entry.dirty = false;
-        entry.tick = tick;
-        self.clean_order.insert((tick, lpn));
+    // ------------------------------------------------------------------
+    // Slab plumbing
+    // ------------------------------------------------------------------
+
+    /// Takes a slot for `lpn` off the free list (or grows the slab) and
+    /// registers it in the index. The slot's list links are left NIL.
+    fn alloc_slot(&mut self, lpn: Lpn) -> u32 {
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            self.free_head = self.slots[idx as usize].next;
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                lpn,
+                dirty: false,
+                last_update: SimTime::ZERO,
+                seq: 0,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        };
+        let slot = &mut self.slots[idx as usize];
+        slot.lpn = lpn;
+        slot.prev = NIL;
+        slot.next = NIL;
+        self.slot_of.insert(lpn, idx);
+        idx
+    }
+
+    /// Returns an unlinked slot to the free list.
+    fn free_slot(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.prev = NIL;
+        slot.next = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Unlinks `idx` from whichever list (dirty or clean) it is on.
+    fn unlink(&mut self, idx: u32) {
+        if self.slots[idx as usize].dirty {
+            Self::detach(
+                &mut self.slots,
+                &mut self.dirty_head,
+                &mut self.dirty_tail,
+                idx,
+            );
+            self.dirty_len -= 1;
+        } else {
+            Self::detach(
+                &mut self.slots,
+                &mut self.clean_head,
+                &mut self.clean_tail,
+                idx,
+            );
+        }
+    }
+
+    /// Moves the dirty slot `idx` (currently at the dirty head) onto the
+    /// clean list's MRU tail.
+    fn mark_clean(&mut self, idx: u32) {
+        debug_assert!(self.slots[idx as usize].dirty);
+        Self::detach(
+            &mut self.slots,
+            &mut self.dirty_head,
+            &mut self.dirty_tail,
+            idx,
+        );
+        self.dirty_len -= 1;
+        self.slots[idx as usize].dirty = false;
+        Self::link_tail(
+            &mut self.slots,
+            &mut self.clean_head,
+            &mut self.clean_tail,
+            idx,
+        );
+    }
+
+    /// Inserts the dirty slot `idx` into the dirty list keeping the
+    /// oldest-first `(last_update, seq)` order. New writes are almost
+    /// always the youngest, so the backward scan from the tail terminates
+    /// immediately in the common case.
+    fn dirty_insert_sorted(&mut self, idx: u32) {
+        let key = {
+            let slot = &self.slots[idx as usize];
+            (slot.last_update, slot.seq)
+        };
+        let mut after = self.dirty_tail;
+        while after != NIL {
+            let slot = &self.slots[after as usize];
+            if (slot.last_update, slot.seq) <= key {
+                break;
+            }
+            after = slot.prev;
+        }
+        Self::link_after(
+            &mut self.slots,
+            &mut self.dirty_head,
+            &mut self.dirty_tail,
+            after,
+            idx,
+        );
+        self.dirty_len += 1;
     }
 
     /// Evicts one page to make room: LRU clean if available, else the
     /// oldest dirty page (returned so the caller can write it back).
     fn evict_one(&mut self) -> Option<Lpn> {
-        if let Some(&(tick, lpn)) = self.clean_order.first() {
-            self.clean_order.remove(&(tick, lpn));
-            self.entries.remove(&lpn);
+        if self.clean_head != NIL {
+            let idx = self.clean_head;
+            let lpn = self.slots[idx as usize].lpn;
+            Self::detach(
+                &mut self.slots,
+                &mut self.clean_head,
+                &mut self.clean_tail,
+                idx,
+            );
+            self.slot_of.remove(&lpn);
+            self.free_slot(idx);
             self.stats.clean_evictions += 1;
             None
-        } else if let Some(&(t, seq, lpn)) = self.dirty_order.first() {
-            self.dirty_order.remove(&(t, seq, lpn));
-            self.entries.remove(&lpn);
+        } else if self.dirty_head != NIL {
+            let idx = self.dirty_head;
+            let lpn = self.slots[idx as usize].lpn;
+            Self::detach(
+                &mut self.slots,
+                &mut self.dirty_head,
+                &mut self.dirty_tail,
+                idx,
+            );
+            self.dirty_len -= 1;
+            self.slot_of.remove(&lpn);
+            self.free_slot(idx);
             self.stats.forced_writebacks += 1;
             Some(lpn)
         } else {
@@ -295,10 +456,57 @@ impl PageCache {
         s
     }
 
-    fn bump_tick(&mut self) -> u64 {
-        let t = self.next_tick;
-        self.next_tick += 1;
-        t
+    // ------------------------------------------------------------------
+    // Intrusive-list primitives (associated fns so callers can split
+    // borrows between the slab and the list heads)
+    // ------------------------------------------------------------------
+
+    /// Removes `idx` from the list rooted at `head`/`tail`.
+    fn detach(slots: &mut [Slot], head: &mut u32, tail: &mut u32, idx: u32) {
+        let (prev, next) = {
+            let slot = &slots[idx as usize];
+            (slot.prev, slot.next)
+        };
+        if prev != NIL {
+            slots[prev as usize].next = next;
+        } else {
+            debug_assert_eq!(*head, idx, "slot not on the list it claims");
+            *head = next;
+        }
+        if next != NIL {
+            slots[next as usize].prev = prev;
+        } else {
+            debug_assert_eq!(*tail, idx, "slot not on the list it claims");
+            *tail = prev;
+        }
+        slots[idx as usize].prev = NIL;
+        slots[idx as usize].next = NIL;
+    }
+
+    /// Appends `idx` at the tail of the list rooted at `head`/`tail`.
+    fn link_tail(slots: &mut [Slot], head: &mut u32, tail: &mut u32, idx: u32) {
+        Self::link_after(slots, head, tail, *tail, idx);
+    }
+
+    /// Inserts `idx` right after `after` (`NIL` = at the head).
+    fn link_after(slots: &mut [Slot], head: &mut u32, tail: &mut u32, after: u32, idx: u32) {
+        let next = if after == NIL {
+            *head
+        } else {
+            slots[after as usize].next
+        };
+        slots[idx as usize].prev = after;
+        slots[idx as usize].next = next;
+        if after != NIL {
+            slots[after as usize].next = idx;
+        } else {
+            *head = idx;
+        }
+        if next != NIL {
+            slots[next as usize].prev = idx;
+        } else {
+            *tail = idx;
+        }
     }
 }
 
@@ -451,7 +659,7 @@ mod tests {
         c.write(Lpn(0), t(0));
         c.write(Lpn(1), t(1));
         c.flusher_tick(t(40)); // both clean
-        // Touch Lpn(0) so Lpn(1) becomes LRU.
+                               // Touch Lpn(0) so Lpn(1) becomes LRU.
         assert!(c.read(Lpn(0), t(41)));
         c.write(Lpn(2), t(42));
         c.write(Lpn(3), t(43)); // must evict clean LRU = Lpn(1)
@@ -466,10 +674,7 @@ mod tests {
         c.write(Lpn(1), t(1));
         c.write(Lpn(2), t(3));
         let scan: Vec<(Lpn, SimTime)> = c.dirty_pages().collect();
-        assert_eq!(
-            scan,
-            vec![(Lpn(1), t(1)), (Lpn(3), t(2)), (Lpn(2), t(3))]
-        );
+        assert_eq!(scan, vec![(Lpn(1), t(1)), (Lpn(3), t(2)), (Lpn(2), t(3))]);
     }
 
     #[test]
@@ -505,5 +710,70 @@ mod tests {
             c.stats().forced_writebacks + c.stats().flushed_expired
         );
         assert!(c.stats().total_writebacks() >= 2);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_keep_dirty_list_sorted() {
+        // Requests overlapping at queue depth > 1 can reach the cache
+        // with non-monotone timestamps; the dirty list must still be
+        // oldest-first.
+        let mut c = cache(8);
+        c.write(Lpn(0), t(10));
+        c.write(Lpn(1), t(5));
+        c.write(Lpn(2), t(7));
+        let scan: Vec<(Lpn, SimTime)> = c.dirty_pages().collect();
+        assert_eq!(scan, vec![(Lpn(1), t(5)), (Lpn(2), t(7)), (Lpn(0), t(10))]);
+        let batch = c.flusher_tick(t(40));
+        assert_eq!(batch.lpns, vec![Lpn(1), Lpn(2), Lpn(0)]);
+    }
+
+    #[test]
+    fn slots_are_recycled_not_leaked() {
+        let mut c = cache(4);
+        for round in 0..50u64 {
+            for i in 0..4u64 {
+                c.write(Lpn(i), t(round));
+            }
+            c.flusher_tick(t(round) + SimDuration::from_secs(31));
+            for i in 0..4u64 {
+                c.invalidate(Lpn(i));
+            }
+        }
+        assert!(c.is_empty());
+        // The slab never grew beyond the configured capacity.
+        assert!(c.slots.len() <= 4, "slab leaked slots: {}", c.slots.len());
+    }
+
+    #[test]
+    fn mixed_churn_preserves_list_integrity() {
+        // Interleave every mutating operation and re-derive the dirty
+        // count from a full scan each step.
+        let mut c = cache(6);
+        let mut expect_present: std::collections::BTreeSet<u64> = Default::default();
+        for step in 0..200u64 {
+            let lpn = Lpn(step % 9);
+            match step % 5 {
+                0 | 1 => {
+                    c.write(lpn, t(step));
+                    expect_present.insert(lpn.0);
+                }
+                2 => {
+                    c.read(lpn, t(step));
+                }
+                3 => {
+                    c.invalidate(lpn);
+                    expect_present.remove(&lpn.0);
+                }
+                _ => {
+                    c.flusher_tick(t(step));
+                }
+            }
+            let scanned = c.dirty_pages().count() as u64;
+            assert_eq!(scanned, c.dirty_count(), "dirty list desynced at {step}");
+            assert!(c.len() as u64 <= 6);
+            // The scan is sorted oldest-first.
+            let ages: Vec<SimTime> = c.dirty_pages().map(|(_, at)| at).collect();
+            assert!(ages.windows(2).all(|w| w[0] <= w[1]));
+        }
     }
 }

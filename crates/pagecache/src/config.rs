@@ -1,7 +1,7 @@
 //! Page cache configuration.
 
+use jitgc_sim::json::{JsonError, JsonValue, ObjectBuilder};
 use jitgc_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of a [`PageCache`](crate::PageCache).
 ///
@@ -18,7 +18,8 @@ use serde::{Deserialize, Serialize};
 ///     .build();
 /// assert_eq!(config.flush_threshold_pages(), 204);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageCacheConfig {
     capacity_pages: u64,
     tau_expire: SimDuration,
@@ -71,6 +72,36 @@ impl PageCacheConfig {
     #[must_use]
     pub fn throttle_threshold_pages(&self) -> u64 {
         self.capacity_pages * self.throttle_permille / 1000
+    }
+
+    /// Serializes to the repository's JSON config format.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("capacity_pages", self.capacity_pages)
+            .field("tau_expire_us", self.tau_expire.as_micros())
+            .field("tau_flush_permille", self.tau_flush_permille)
+            .field("throttle_permille", self.throttle_permille)
+            .build()
+    }
+
+    /// Parses the format written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing or mistyped fields.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let u64_field = |key: &str| -> Result<u64, JsonError> {
+            v.req(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::new(format!("`{key}` must be an integer")))
+        };
+        Ok(PageCacheConfig::builder()
+            .capacity_pages(u64_field("capacity_pages")?)
+            .tau_expire(SimDuration::from_micros(u64_field("tau_expire_us")?))
+            .tau_flush_permille(u64_field("tau_flush_permille")?)
+            .throttle_permille(u64_field("throttle_permille")?)
+            .build())
     }
 }
 
@@ -151,6 +182,18 @@ impl PageCacheConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let c = PageCacheConfig::builder()
+            .capacity_pages(4_096)
+            .tau_expire(SimDuration::from_secs(9))
+            .tau_flush_permille(150)
+            .throttle_permille(350)
+            .build();
+        let back = PageCacheConfig::from_json(&c.to_json()).expect("parse");
+        assert_eq!(back, c);
+    }
 
     #[test]
     fn defaults() {

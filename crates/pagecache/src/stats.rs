@@ -1,9 +1,8 @@
 //! Page cache statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Cumulative counters for one [`PageCache`](crate::PageCache).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageCacheStats {
     /// Buffered writes absorbed by the cache.
     pub writes: u64,

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the page cache's invariants.
 
 use jitgc_nand::Lpn;

@@ -1,0 +1,124 @@
+//! A fast, non-cryptographic hasher for hot-path hash maps.
+//!
+//! The page cache keys its Lpn→slot table by small integers; SipHash (the
+//! standard-library default) burns most of its cycles defending against
+//! hash-flooding that a simulator keyed by its own LPNs cannot suffer.
+//! This is the Firefox `FxHasher` recipe: one rotate, one xor, one
+//! multiply per word.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash recipe: `π` in fixed point, chosen for good
+/// bit dispersion under wrapping multiplication.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// One-rotate-xor-multiply hasher; use via [`FxHashMap`]/[`FxHashSet`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// Builder for [`FxHasher`]; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one(v: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42), hash_one(42));
+        assert_ne!(hash_one(42), hash_one(43));
+    }
+
+    #[test]
+    fn sequential_keys_disperse() {
+        // Low bits must differ for sequential keys or every LPN lands in
+        // the same HashMap bucket.
+        let mut low_bits = HashSet::new();
+        for v in 0..256u64 {
+            low_bits.insert(hash_one(v) & 0xFF);
+        }
+        assert!(low_bits.len() > 200, "only {} distinct", low_bits.len());
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&7), Some(&14));
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn byte_writes_match_padding_behavior() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write_u64(u64::from_le_bytes([1, 2, 3, 0, 0, 0, 0, 0]));
+        assert_eq!(a.finish(), b.finish());
+    }
+}

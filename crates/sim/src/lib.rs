@@ -13,6 +13,9 @@
 //! * [`stats`] — histograms, the cumulative data histogram (CDH) used by the
 //!   paper's direct-write predictor, EWMA bandwidth estimation, and online
 //!   latency statistics.
+//! * [`json`] — a dependency-free JSON tree, parser and printer backing the
+//!   simulator's machine-readable interfaces.
+//! * [`hash`] — the FxHash-style hasher used by hot-path hash maps.
 //!
 //! # Example
 //!
@@ -35,9 +38,13 @@ mod event;
 mod rng;
 mod time;
 
+pub mod hash;
+pub mod json;
 pub mod stats;
 
 pub use bytes::ByteSize;
 pub use event::EventQueue;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use json::{JsonError, JsonValue, ObjectBuilder};
 pub use rng::{SimRng, Zipf};
 pub use time::{SimDuration, SimTime};

@@ -1,12 +1,11 @@
 //! Seeded randomness and the Zipf sampler used by workload generators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
 use std::fmt;
 
 /// A deterministic random number generator for simulation runs.
 ///
-/// Thin wrapper around [`rand::rngs::StdRng`] seeded from a `u64`; two
+/// Implements xoshiro256** (Blackman & Vigna) seeded from a `u64` via the
+/// SplitMix64 expander, so the whole simulator is dependency-free; two
 /// `SimRng`s built from the same seed produce identical streams, which is
 /// what makes every experiment in this repository exactly reproducible.
 ///
@@ -20,18 +19,31 @@ use std::fmt;
 /// assert_eq!(a.range_u64(0, 1000), b.range_u64(0, 1000));
 /// ```
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mix of a 64-bit word.
+fn splitmix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut z = seed;
+        let state = [
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was constructed with.
@@ -56,6 +68,33 @@ impl SimRng {
         SimRng::seed(z)
     }
 
+    /// The next raw 64-bit output of the generator.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of [`next_u64`](Self::next_u64)).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with generator output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
     /// A uniform `u64` in `[lo, hi)`.
     ///
     /// # Panics
@@ -63,12 +102,25 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        if span.is_power_of_two() {
+            return lo + (self.next_u64() & (span - 1));
+        }
+        // Rejection sampling over the largest multiple of `span` to avoid
+        // modulo bias.
+        let zone = u64::MAX - (u64::MAX % span) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -104,21 +156,6 @@ impl SimRng {
 impl fmt::Debug for SimRng {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimRng").field("seed", &self.seed).finish()
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -242,6 +279,36 @@ mod tests {
     fn range_rejects_empty() {
         let mut rng = SimRng::seed(5);
         let _ = rng.range_u64(7, 7);
+    }
+
+    #[test]
+    fn range_covers_full_span() {
+        let mut rng = SimRng::seed(13);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.range_u64(0, 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut rng = SimRng::seed(19);
+        for _ in 0..10_000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u), "sample {u}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_handles_partial_words() {
+        let mut a = SimRng::seed(29);
+        let mut b = SimRng::seed(29);
+        let mut buf = [0u8; 13];
+        a.fill_bytes(&mut buf);
+        // The first 8 bytes are the little-endian first word.
+        assert_eq!(&buf[..8], &b.next_u64().to_le_bytes());
+        assert_ne!(buf, [0u8; 13]);
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! The cumulative data histogram (CDH) of the paper's Sec. 3.2.2.
 
 use super::Histogram;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A sliding-window cumulative data histogram over per-interval traffic.
@@ -31,7 +30,8 @@ use std::collections::VecDeque;
 /// }
 /// assert_eq!(cdh.reserve_for(0.8), Some(20 * mib));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cdh {
     histogram: Histogram,
     window: usize,

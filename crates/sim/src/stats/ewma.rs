@@ -1,7 +1,5 @@
 //! Exponentially-weighted moving average.
 
-use serde::{Deserialize, Serialize};
-
 /// An exponentially-weighted moving average of `f64` samples.
 ///
 /// The JIT-GC manager needs running estimates of the host write bandwidth
@@ -20,7 +18,8 @@ use serde::{Deserialize, Serialize};
 /// let est = bw.value().expect("two samples recorded");
 /// assert!(est > 100.0 && est < 200.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,

@@ -1,7 +1,5 @@
 //! Fixed-bin-width frequency histogram.
 
-use serde::{Deserialize, Serialize};
-
 /// A frequency histogram over `u64` samples with fixed-width bins.
 ///
 /// Bin `i` covers the half-open range `(i·w, (i+1)·w]` for bin width `w`,
@@ -25,7 +23,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.bin_count(8), 1); // the 80 sample
 /// assert_eq!(h.total(), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     bin_width: u64,
     counts: Vec<u64>,

@@ -1,7 +1,6 @@
 //! Log-bucketed latency recording with percentile queries.
 
 use crate::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Number of linear sub-buckets per power-of-two major bucket. 16 gives
 /// ≤ 6.25 % relative quantization error, ample for latency reporting.
@@ -32,7 +31,8 @@ const MAJOR_BUCKETS: usize = 64;
 /// let p50 = lat.percentile(0.50).expect("samples recorded");
 /// assert!(p50.as_micros() >= 200 && p50.as_micros() <= 320);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyRecorder {
     counts: Vec<u64>,
     total: u64,

@@ -1,7 +1,5 @@
 //! Welford online mean/variance.
 
-use serde::{Deserialize, Serialize};
-
 /// Online mean, variance, min and max of a stream of `f64` samples
 /// (Welford's algorithm — numerically stable, single pass).
 ///
@@ -21,7 +19,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), Some(5.0));
 /// assert_eq!(s.population_std_dev(), Some(2.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunningStats {
     count: u64,
     mean: f64,

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the statistics primitives.
 
 use jitgc_sim::stats::{Cdh, Histogram, LatencyRecorder, RunningStats};

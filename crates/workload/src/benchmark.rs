@@ -2,7 +2,6 @@
 
 use crate::generators::{Bonnie, Filebench, Postmark, Tiobench, TpcC, Ycsb};
 use crate::{Workload, WorkloadConfig, WriteMix};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The benchmark suite of the paper's evaluation (Sec. 4.1).
@@ -17,7 +16,8 @@ use std::fmt;
 ///     assert!(w.next_request().is_some());
 /// }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BenchmarkKind {
     /// YCSB on Cassandra (update-intensive, 88.2 % buffered).
     Ycsb,
@@ -131,6 +131,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let json = serde_json::to_string(&BenchmarkKind::TpcC).expect("serialize");
         let back: BenchmarkKind = serde_json::from_str(&json).expect("parse");

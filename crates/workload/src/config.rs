@@ -1,7 +1,6 @@
 //! Common workload configuration.
 
 use jitgc_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Parameters shared by every benchmark generator.
 ///
@@ -23,7 +22,8 @@ use serde::{Deserialize, Serialize};
 ///     .build();
 /// assert_eq!(config.working_set_pages(), 8192);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadConfig {
     working_set_pages: u64,
     duration: SimDuration,
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn generators_respect_duration_bound() {
-        use crate::{BenchmarkKind, Workload};
+        use crate::BenchmarkKind;
         let cfg = WorkloadConfig::builder()
             .working_set_pages(1_024)
             .duration(SimDuration::from_secs(5))

@@ -167,7 +167,11 @@ mod tests {
         // Drain one full write sweep: all requests must be writes.
         for _ in 0..sweep {
             let req = w.next_request().expect("within duration");
-            assert!(req.kind.is_write(), "seq-write phase emitted {:?}", req.kind);
+            assert!(
+                req.kind.is_write(),
+                "seq-write phase emitted {:?}",
+                req.kind
+            );
         }
         // Next sweep is the rewrite phase (also writes), then reads.
         for _ in 0..sweep {

@@ -119,8 +119,9 @@ impl Workload for Postmark {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::testutil::{assert_deterministic, assert_mix, drain_and_count,
-                                      small_config};
+    use crate::generators::testutil::{
+        assert_deterministic, assert_mix, drain_and_count, small_config,
+    };
 
     #[test]
     fn mix_matches_table1() {

@@ -119,7 +119,10 @@ impl SyntheticBuilder {
             ("buffered_fraction", self.buffered_fraction),
             ("trim_fraction", self.trim_fraction),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1], got {v}"
+            );
         }
         assert!(
             self.read_fraction + self.trim_fraction <= 1.0,
@@ -237,9 +240,7 @@ mod tests {
 
     #[test]
     fn uniform_skew_spreads_addresses() {
-        let mut w = Synthetic::builder()
-            .zipf_skew(0.0)
-            .build(small_config(2));
+        let mut w = Synthetic::builder().zipf_skew(0.0).build(small_config(2));
         let mut touched = std::collections::HashSet::new();
         for _ in 0..5_000 {
             let Some(req) = w.next_request() else { break };
@@ -263,11 +264,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let make = || {
-            Synthetic::builder()
-                .zipf_skew(1.0)
-                .build(small_config(7))
-        };
+        let make = || Synthetic::builder().zipf_skew(1.0).build(small_config(7));
         let (mut a, mut b) = (make(), make());
         for _ in 0..1_000 {
             assert_eq!(a.next_request(), b.next_request());

@@ -46,7 +46,9 @@ mod generators;
 pub use arrival::ArrivalProcess;
 pub use benchmark::BenchmarkKind;
 pub use config::{WorkloadConfig, WorkloadConfigBuilder};
-pub use generators::{Bonnie, Filebench, Postmark, Synthetic, SyntheticBuilder, Tiobench, TpcC, Ycsb};
+pub use generators::{
+    Bonnie, Filebench, Postmark, Synthetic, SyntheticBuilder, Tiobench, TpcC, Ycsb,
+};
 pub use measure::{measure_write_mix, MeasuredMix};
 pub use request::{IoKind, IoRequest, WriteMix};
 pub use trace::{parse_msr_trace, record_trace, ParseTraceError, TraceRecord, TraceWorkload};

@@ -1,10 +1,10 @@
 //! Measuring a workload's actual write mix (reproduces paper Table 1).
 
 use crate::{IoKind, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Measured page counts per request kind over a drained workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MeasuredMix {
     /// Pages written through the page cache.
     pub buffered_pages: u64,
@@ -102,8 +102,7 @@ mod tests {
         ] {
             let mut w = kind.build(cfg);
             let mix = measure_write_mix(w.as_mut(), u64::MAX);
-            let total =
-                mix.read_pages + mix.buffered_pages + mix.direct_pages + mix.trim_pages;
+            let total = mix.read_pages + mix.buffered_pages + mix.direct_pages + mix.trim_pages;
             let frac = mix.read_pages as f64 / total as f64;
             assert!(
                 (lo..=hi).contains(&frac),

@@ -6,13 +6,14 @@
 
 use crate::{IoKind, IoRequest, Workload, WriteMix};
 use jitgc_nand::Lpn;
+use jitgc_sim::json::{JsonError, JsonValue, ObjectBuilder};
 use jitgc_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// One serialized request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceRecord {
     /// Think-time gap since the previous request, microseconds.
     pub gap_us: u64,
@@ -22,6 +23,58 @@ pub struct TraceRecord {
     pub lpn: u64,
     /// Page count.
     pub pages: u32,
+}
+
+impl TraceRecord {
+    /// Serializes one record as a compact JSON object — one trace-file line.
+    /// The `kind` names match the serde representation, so trace files
+    /// written by either serializer interchange.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let kind = match self.kind {
+            IoKind::Read => "Read",
+            IoKind::BufferedWrite => "BufferedWrite",
+            IoKind::DirectWrite => "DirectWrite",
+            IoKind::Trim => "Trim",
+        };
+        ObjectBuilder::new()
+            .field("gap_us", self.gap_us)
+            .field("kind", kind)
+            .field("lpn", self.lpn)
+            .field("pages", self.pages)
+            .build()
+    }
+
+    /// Parses the format written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on missing fields or unknown kinds.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let kind = match v.req("kind")?.as_str() {
+            Some("Read") => IoKind::Read,
+            Some("BufferedWrite") => IoKind::BufferedWrite,
+            Some("DirectWrite") => IoKind::DirectWrite,
+            Some("Trim") => IoKind::Trim,
+            _ => return Err(JsonError::new("`kind` must be a known IoKind name")),
+        };
+        Ok(TraceRecord {
+            gap_us: v
+                .req("gap_us")?
+                .as_u64()
+                .ok_or_else(|| JsonError::new("`gap_us` must be an integer"))?,
+            kind,
+            lpn: v
+                .req("lpn")?
+                .as_u64()
+                .ok_or_else(|| JsonError::new("`lpn` must be an integer"))?,
+            pages: v
+                .req("pages")?
+                .as_u64()
+                .and_then(|p| u32::try_from(p).ok())
+                .ok_or_else(|| JsonError::new("`pages` must be an integer"))?,
+        })
+    }
 }
 
 impl From<IoRequest> for TraceRecord {
@@ -345,6 +398,21 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip() {
+        let rec = TraceRecord {
+            gap_us: 123,
+            kind: IoKind::DirectWrite,
+            lpn: 7,
+            pages: 8,
+        };
+        let line = rec.to_json().to_compact();
+        let back = TraceRecord::from_json(&JsonValue::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, rec);
+        assert!(TraceRecord::from_json(&JsonValue::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    #[cfg(feature = "serde")]
     fn serde_json_round_trip() {
         let rec = TraceRecord {
             gap_us: 123,
@@ -415,8 +483,7 @@ mod tests {
         assert!(parse_msr_trace("not,enough,fields", 4096).is_err());
         assert!(parse_msr_trace("x,h,0,Write,0,4096,1", 4096).is_err());
         assert!(parse_msr_trace("1,h,0,Flush,0,4096,1", 4096).is_err());
-        let err = parse_msr_trace("1,h,0,Write,bad,4096,1", 4096)
-            .expect_err("offset is invalid");
+        let err = parse_msr_trace("1,h,0,Write,bad,4096,1", 4096).expect_err("offset is invalid");
         assert!(err.to_string().contains("line 1"));
     }
 

@@ -105,8 +105,7 @@ impl Workload for VideoRecorder {
 
 fn main() {
     let system_config = SystemConfig::default_sim();
-    let working_set =
-        system_config.ftl.user_pages() - system_config.ftl.op_pages() / 2;
+    let working_set = system_config.ftl.user_pages() - system_config.ftl.op_pages() / 2;
     let workload = VideoRecorder::new(working_set, 60_000, 99);
     let policy = JitGc::from_system_config(&system_config);
     let report = SsdSystem::new(system_config, Box::new(policy), Box::new(workload)).run();

@@ -47,9 +47,7 @@ fn main() {
     );
     for policy in policies {
         let workload_config = WorkloadConfig::builder()
-            .working_set_pages(
-                system_config.ftl.user_pages() - system_config.ftl.op_pages() / 2,
-            )
+            .working_set_pages(system_config.ftl.user_pages() - system_config.ftl.op_pages() / 2)
             .duration(SimDuration::from_secs(300))
             .mean_iops(250.0)
             .burst_mean(1_024.0)

@@ -52,6 +52,9 @@ fn main() {
         println!("prediction    : {acc:.1} % accurate over the write-back horizon");
     }
     if let Some(sip) = report.sip_filtered_fraction {
-        println!("SIP filtering : redirected {:.1} % of victim selections", sip * 100.0);
+        println!(
+            "SIP filtering : redirected {:.1} % of victim selections",
+            sip * 100.0
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use jitgc_repro::core::policy::JitGc;
 use jitgc_repro::core::system::{SsdSystem, SystemConfig};
+use jitgc_repro::sim::json::JsonValue;
 use jitgc_repro::sim::SimDuration;
 use jitgc_repro::workload::{
     record_trace, BenchmarkKind, TraceRecord, TraceWorkload, WorkloadConfig,
@@ -31,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
         for record in &trace {
-            serde_json::to_writer(&mut file, record)?;
+            file.write_all(record.to_json().to_compact().as_bytes())?;
             file.write_all(b"\n")?;
         }
     }
@@ -41,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let file = std::io::BufReader::new(std::fs::File::open(&path)?);
     let loaded: Vec<TraceRecord> = file
         .lines()
-        .map(|line| Ok(serde_json::from_str(&line?)?))
+        .map(|line| Ok(TraceRecord::from_json(&JsonValue::parse(&line?)?)?))
         .collect::<Result<_, Box<dyn std::error::Error>>>()?;
     println!("loaded   {} requests", loaded.len());
 

@@ -117,15 +117,10 @@ fn cross_policy_runs_share_workload_stream() {
 }
 
 #[test]
+#[cfg(feature = "serde")]
 fn report_serializes_and_round_trips() {
     let config = SystemConfig::small_for_tests();
-    let report = run(
-        &config,
-        Box::new(NoBgc),
-        BenchmarkKind::Tiobench,
-        10,
-        1,
-    );
+    let report = run(&config, Box::new(NoBgc), BenchmarkKind::Tiobench, 10, 1);
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     let back: SimReport = serde_json::from_str(&json).expect("parse");
     assert_eq!(back.ops, report.ops);

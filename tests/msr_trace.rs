@@ -29,8 +29,7 @@ fn msr_trace_runs_through_the_full_stack() {
 
     let mut config = SystemConfig::small_for_tests();
     config.prefill = true;
-    let workload =
-        TraceWorkload::new("msr-synthetic", records).with_working_set(16_384 + 8);
+    let workload = TraceWorkload::new("msr-synthetic", records).with_working_set(16_384 + 8);
     // The small test device has only 2 048 user pages; rebuild the FTL to
     // cover the trace's address space.
     config.ftl = jitgc_repro::ftl::FtlConfig::builder()
