@@ -32,7 +32,7 @@
 //! ```
 
 use jitgc_bench::{default_threads, run_grid, PolicyKind};
-use jitgc_core::system::{ManagerPlacement, SsdSystem, SystemConfig, VictimKind};
+use jitgc_core::system::{ManagerPlacement, PhaseProfile, SsdSystem, SystemConfig, VictimKind};
 use jitgc_ftl::FtlConfig;
 use jitgc_sim::json::{JsonValue, ObjectBuilder};
 use jitgc_sim::SimDuration;
@@ -192,6 +192,7 @@ fn perf_record(
     report: &jitgc_core::system::SimReport,
     setup_secs: f64,
     run_secs: f64,
+    profile: &PhaseProfile,
 ) -> JsonValue {
     let wall_secs = setup_secs + run_secs;
     let per_sec = |count: u64| -> f64 {
@@ -201,8 +202,11 @@ fn perf_record(
             0.0
         }
     };
+    // Per-phase wall-time breakdown of the run (the remainder is glue:
+    // workload generation and closed-loop scheduling).
+    let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/1")
+        .field("schema", "ssdsim-bench/2")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.victim_policy.as_str())
@@ -223,6 +227,15 @@ fn perf_record(
             per_sec(report.nand_pages_programmed),
         )
         .field("ops_per_wall_sec", per_sec(report.ops))
+        .field(
+            "phase_request_execution_secs",
+            profile.request_execution.as_secs_f64(),
+        )
+        .field("phase_flush_secs", profile.flush.as_secs_f64())
+        .field("phase_predictor_secs", profile.predictor.as_secs_f64())
+        .field("phase_bgc_secs", profile.bgc.as_secs_f64())
+        .field("phase_reporting_secs", profile.reporting.as_secs_f64())
+        .field("phase_untracked_secs", untracked)
         .build()
 }
 
@@ -295,22 +308,27 @@ fn main() {
     } else {
         args.threads
     };
+    let profile_phases = args.bench_json.is_some();
     let runs = run_grid(&args.benchmarks, threads, |&benchmark| {
         let setup_start = Instant::now();
         let workload = benchmark.build(workload_config);
         let policy = policy.build(&system);
         let mut sim = SsdSystem::new(system.clone(), policy, workload);
+        if profile_phases {
+            sim.enable_phase_profiling();
+        }
         let setup_secs = setup_start.elapsed().as_secs_f64();
         let run_start = Instant::now();
         let report = sim.run();
-        (report, setup_secs, run_start.elapsed().as_secs_f64())
+        let run_secs = run_start.elapsed().as_secs_f64();
+        (report, setup_secs, run_secs, sim.phase_profile())
     });
 
     if let Some(path) = &args.bench_json {
         let records: Vec<JsonValue> = runs
             .iter()
-            .map(|(report, setup_secs, run_secs)| {
-                perf_record(&args, report, *setup_secs, *run_secs)
+            .map(|(report, setup_secs, run_secs, profile)| {
+                perf_record(&args, report, *setup_secs, *run_secs, profile)
             })
             .collect();
         let text = if records.len() == 1 {
@@ -324,15 +342,17 @@ fn main() {
 
     if args.benchmarks.len() != 1 {
         if args.json {
-            let reports: Vec<JsonValue> =
-                runs.iter().map(|(report, _, _)| report.to_json()).collect();
+            let reports: Vec<JsonValue> = runs
+                .iter()
+                .map(|(report, _, _, _)| report.to_json())
+                .collect();
             println!("{}", JsonValue::Array(reports).to_pretty());
         } else {
             println!(
                 "{:<12}{:>10}{:>8}{:>10}{:>10}{:>12}",
                 "benchmark", "IOPS", "WAF", "FGC", "BGC blk", "p99 µs"
             );
-            for (report, _, _) in &runs {
+            for (report, _, _, _) in &runs {
                 println!(
                     "{:<12}{:>10.0}{:>8.3}{:>10}{:>10}{:>12}",
                     report.workload,
@@ -346,7 +366,7 @@ fn main() {
         }
         return;
     }
-    let (report, _, _) = runs.into_iter().next().expect("one benchmark ran");
+    let (report, _, _, _) = runs.into_iter().next().expect("one benchmark ran");
 
     if let Some(path) = &args.timeline {
         let mut csv = String::from(

@@ -143,17 +143,102 @@ impl BufferedWritePredictor {
         self.tau_expire.div_duration(self.p) as usize
     }
 
-    /// Scans `cache` at time `t` (right after a flusher wake-up) and
+    /// Polls `cache` at time `t` (right after a flusher wake-up) and
     /// returns the per-interval demand bound plus the SIP list.
+    ///
+    /// Equivalent to [`predict_into`](Self::predict_into) with a fresh
+    /// SIP list; prefer `predict_into` on a hot path so the list's
+    /// backing storage is reused across polls.
     #[must_use]
     pub fn predict(&self, cache: &PageCache, t: SimTime) -> (BufferedDemand, SipList) {
+        let mut sip = SipList::new();
+        let demand = self.predict_into(cache, t, &mut sip);
+        (demand, sip)
+    }
+
+    /// Polls `cache` at time `t`, refilling `sip` in place and returning
+    /// the per-interval demand bound.
+    ///
+    /// When the cache's configured
+    /// [`flusher_period`](jitgc_pagecache::PageCacheConfig::flusher_period)
+    /// matches this predictor's `p` and `t` falls on a period boundary —
+    /// the engine polls at exact multiples of `p`, so in practice always —
+    /// the demand is read off the cache's incremental dirty-age epoch
+    /// counters and the SIP list is a bulk snapshot of its dirty-LPN
+    /// bitmap: O(distinct epochs + LPN-space words) instead of a walk
+    /// over every dirty page. Any mismatch falls back to the full scan
+    /// ([`predict_scan`](Self::predict_scan)), which is bit-identical,
+    /// just slower. Debug builds run both and assert they agree on every
+    /// poll.
+    ///
+    /// Why the counters are exact: with `τ_expire = N_wb · p` (enforced
+    /// by the constructor) and `t = m · p`, a page last updated at `u`
+    /// with epoch `e = ⌈u / p⌉` satisfies
+    /// `⌈(u + τ_expire − t) / p⌉ = e + N_wb − m` whenever the numerator
+    /// is positive, and both sides clamp to interval 1 when it is not —
+    /// so pages sharing an epoch share a write-back interval.
+    #[must_use]
+    pub fn predict_into(&self, cache: &PageCache, t: SimTime, sip: &mut SipList) -> BufferedDemand {
+        let p_us = self.p.as_micros();
+        let fast = cache.config().flusher_period() == self.p && t.as_micros().is_multiple_of(p_us);
+        if !fast {
+            return self.scan_into(cache, t, sip);
+        }
+
         let nwb = self.horizon();
         let mut demand = vec![0u64; nwb];
-        let mut sip = SipList::new();
-        let page_bytes = self.page_size.as_u64();
-
         // The SIP list always contains every dirty page — whenever it does
         // get flushed, the on-flash copy dies.
+        sip.assign_words(cache.dirty_lpn_words(), cache.dirty_count() as usize);
+        let gated =
+            self.strict_tau_flush && cache.dirty_count() <= cache.config().flush_threshold_pages();
+        if !gated {
+            let page_bytes = self.page_size.as_u64();
+            let m = t.as_micros() / p_us;
+            for (e, n) in cache.dirty_epochs() {
+                let k = (e + nwb as u64).saturating_sub(m).clamp(1, nwb as u64) as usize;
+                demand[k - 1] += n * page_bytes;
+            }
+        }
+        let demand = BufferedDemand {
+            per_interval: demand,
+        };
+
+        // Equivalence oracle: the incremental counters and bitmap snapshot
+        // must reproduce the full dirty-list scan exactly, every poll.
+        #[cfg(debug_assertions)]
+        {
+            let (scan_demand, scan_sip) = self.predict_scan(cache, t);
+            assert_eq!(
+                demand, scan_demand,
+                "incremental demand diverged from the full scan at t={t:?}"
+            );
+            assert_eq!(
+                *sip, scan_sip,
+                "SIP bitmap snapshot diverged from the full scan at t={t:?}"
+            );
+        }
+        demand
+    }
+
+    /// The reference implementation: a full walk over the cache's dirty
+    /// list. Kept public as the equivalence oracle for debug builds and
+    /// property tests; [`predict_into`](Self::predict_into) must match it
+    /// bit for bit.
+    #[must_use]
+    pub fn predict_scan(&self, cache: &PageCache, t: SimTime) -> (BufferedDemand, SipList) {
+        let mut sip = SipList::new();
+        let demand = self.scan_into(cache, t, &mut sip);
+        (demand, sip)
+    }
+
+    /// [`predict_scan`](Self::predict_scan) body, refilling `sip` in place.
+    fn scan_into(&self, cache: &PageCache, t: SimTime, sip: &mut SipList) -> BufferedDemand {
+        let nwb = self.horizon();
+        let mut demand = vec![0u64; nwb];
+        sip.clear();
+        let page_bytes = self.page_size.as_u64();
+
         let gated =
             self.strict_tau_flush && cache.dirty_count() <= cache.config().flush_threshold_pages();
         for (lpn, last_update) in cache.dirty_pages() {
@@ -168,12 +253,9 @@ impl BufferedWritePredictor {
             let k = (remaining.as_micros().div_ceil(self.p.as_micros()) as usize).clamp(1, nwb);
             demand[k - 1] += page_bytes;
         }
-        (
-            BufferedDemand {
-                per_interval: demand,
-            },
-            sip,
-        )
+        BufferedDemand {
+            per_interval: demand,
+        }
     }
 }
 
@@ -333,6 +415,71 @@ mod tests {
         let (ds, _) = strict.predict(&cache, t);
         assert_eq!(dr, ds);
         assert_eq!(ds.interval(6), 5 * MIB);
+    }
+
+    #[test]
+    fn incremental_poll_matches_scan_at_period_boundaries() {
+        let pred = predictor();
+        let mut cache = big_cache();
+        write_mib(&mut cache, 0, 20, 1);
+        write_mib(&mut cache, 100, 20, 3);
+        write_mib(&mut cache, 200, 5, 8);
+        cache.flusher_tick(SimTime::from_secs(35));
+        for t_secs in [5u64, 10, 15, 35, 40, 100] {
+            let t = SimTime::from_secs(t_secs);
+            let (scan_d, scan_sip) = pred.predict_scan(&cache, t);
+            let mut sip = SipList::new();
+            let d = pred.predict_into(&cache, t, &mut sip);
+            assert_eq!(d, scan_d, "demand at t={t_secs}s");
+            assert_eq!(sip, scan_sip, "sip at t={t_secs}s");
+        }
+    }
+
+    #[test]
+    fn off_boundary_poll_falls_back_to_scan() {
+        let pred = predictor();
+        let mut cache = big_cache();
+        write_mib(&mut cache, 0, 10, 2);
+        // 7 s is not a multiple of p = 5 s: the fast path must not engage,
+        // and the result must still equal the reference scan.
+        let t = SimTime::from_secs(7);
+        let (scan_d, scan_sip) = pred.predict_scan(&cache, t);
+        let (d, sip) = pred.predict(&cache, t);
+        assert_eq!(d, scan_d);
+        assert_eq!(sip, scan_sip);
+    }
+
+    #[test]
+    fn mismatched_cache_period_falls_back_to_scan() {
+        let pred = predictor(); // p = 5 s
+        let mut cache = PageCache::new(
+            PageCacheConfig::builder()
+                .capacity_pages(1_000)
+                .tau_expire(SimDuration::from_secs(30))
+                .tau_flush_permille(1_000)
+                .flusher_period(SimDuration::from_secs(3)) // ≠ p
+                .build(),
+        );
+        cache.write(Lpn(0), SimTime::from_secs(1));
+        let t = SimTime::from_secs(5);
+        let (scan_d, scan_sip) = pred.predict_scan(&cache, t);
+        let (d, sip) = pred.predict(&cache, t);
+        assert_eq!(d, scan_d);
+        assert_eq!(sip, scan_sip);
+        assert_eq!(d.interval(6), MIB);
+    }
+
+    #[test]
+    fn predict_into_reuses_the_sip_list() {
+        let pred = predictor();
+        let mut cache = big_cache();
+        cache.write(Lpn(7), SimTime::from_secs(1));
+        let mut sip = SipList::new();
+        sip.insert(Lpn(999));
+        let _ = pred.predict_into(&cache, SimTime::from_secs(5), &mut sip);
+        assert_eq!(sip.len(), 1);
+        assert!(sip.contains(Lpn(7)));
+        assert!(!sip.contains(Lpn(999)), "stale entry survived the refill");
     }
 
     #[test]

@@ -153,6 +153,7 @@ impl SystemConfig {
             .capacity_pages(2_048)
             .tau_expire(SimDuration::from_secs(30))
             .tau_flush_permille(250)
+            .flusher_period(SimDuration::from_secs(5))
             .build();
         SystemConfig {
             ftl,
@@ -197,6 +198,7 @@ impl SystemConfig {
             .capacity_pages(8_192)
             .tau_expire(SimDuration::from_secs(3))
             .tau_flush_permille(100)
+            .flusher_period(SimDuration::from_millis(500))
             .build();
         SystemConfig {
             ftl,

@@ -2,8 +2,9 @@
 
 use crate::policy::{GcPolicy, IntervalObservation};
 use crate::predictor::{AccuracyTracker, BufferedWritePredictor, DirectWritePredictor};
-use crate::system::{SimReport, SystemConfig};
-use jitgc_ftl::{Ftl, FtlError};
+use crate::system::{PhaseProfile, SimReport, SystemConfig};
+use jitgc_ftl::{Ftl, SipList};
+use jitgc_nand::Lpn;
 use jitgc_pagecache::PageCache;
 use jitgc_sim::stats::LatencyRecorder;
 use jitgc_sim::{ByteSize, SimDuration, SimTime};
@@ -56,18 +57,34 @@ pub struct SsdSystem {
     fgc_flush_stalls: u64,
     throttled_requests: u64,
     timeline: Vec<crate::system::IntervalSample>,
+
+    // Scratch storage reused across polls and requests so the steady
+    // state allocates nothing: the SIP list ping-pongs between the
+    // predictor and the FTL, and batched LPNs are staged in one vector.
+    sip_scratch: SipList,
+    lpn_scratch: Vec<Lpn>,
+
+    // Opt-in wall-clock phase profiling (see [`PhaseProfile`]).
+    profile_enabled: bool,
+    profile: PhaseProfile,
 }
 
 impl SsdSystem {
     /// Builds a system from its three parts.
     #[must_use]
     pub fn new(
-        config: SystemConfig,
+        mut config: SystemConfig,
         policy: Box<dyn GcPolicy>,
         workload: Box<dyn Workload>,
     ) -> Self {
         let mut ftl = Ftl::new(config.ftl.clone(), config.victim.build());
         ftl.set_sip_filter_enabled(policy.uses_sip());
+        // The engine ticks the flusher every `config.flusher_period`, so
+        // tell the cache that period: its dirty-age epoch counters then
+        // line up with the predictor's poll times and `predict_into` can
+        // take the O(1)-per-bucket fast path instead of scanning the
+        // dirty list (the result is identical either way).
+        config.cache = config.cache.with_flusher_period(config.flusher_period);
         let cache = PageCache::new(config.cache);
         let mut buffered_pred = BufferedWritePredictor::new(
             config.flusher_period,
@@ -112,8 +129,31 @@ impl SsdSystem {
             fgc_flush_stalls: 0,
             throttled_requests: 0,
             timeline: Vec::new(),
+            sip_scratch: SipList::new(),
+            lpn_scratch: Vec::new(),
+            profile_enabled: false,
+            profile: PhaseProfile::default(),
             config,
         }
+    }
+
+    /// Turns on wall-clock phase profiling for subsequent work. The
+    /// probes are two `Instant` reads per phase entry and never influence
+    /// simulated behaviour; reports stay identical either way.
+    pub fn enable_phase_profiling(&mut self) {
+        self.profile_enabled = true;
+    }
+
+    /// The accumulated per-phase wall-clock breakdown (all zero unless
+    /// [`enable_phase_profiling`](SsdSystem::enable_phase_profiling) was
+    /// called before [`run`](SsdSystem::run)).
+    #[must_use]
+    pub fn phase_profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn timer(&self) -> Option<std::time::Instant> {
+        self.profile_enabled.then(std::time::Instant::now)
     }
 
     /// Runs the workload to exhaustion and reports.
@@ -139,7 +179,11 @@ impl SsdSystem {
             self.schedule = self.schedule.max(issue);
             self.process_ticks_until(issue);
             self.run_bgc_in_gap(issue);
+            let t0 = self.timer();
             let completion = self.execute(req, issue);
+            if let Some(t0) = t0 {
+                self.profile.request_execution += t0.elapsed();
+            }
             self.latencies.record(completion.saturating_since(issue));
             self.thread_completion[thread] = completion;
             self.ops += 1;
@@ -151,7 +195,12 @@ impl SsdSystem {
             .max()
             .unwrap_or(SimTime::ZERO)
             .max(self.schedule);
-        self.build_report(end)
+        let t0 = self.timer();
+        let report = self.build_report(end);
+        if let Some(t0) = t0 {
+            self.profile.reporting += t0.elapsed();
+        }
+        report
     }
 
     /// Ages the device: writes the whole working set once in scrambled
@@ -191,25 +240,23 @@ impl SsdSystem {
 
     fn handle_tick(&mut self, now: SimTime) {
         // 1. Flusher thread: write back expired / pressured dirty pages.
+        let t0 = self.timer();
         let batch = self.cache.flusher_tick(now);
         if !batch.lpns.is_empty() {
-            let mut flush_time = SimDuration::ZERO;
-            let mut stalled = false;
-            for lpn in &batch.lpns {
-                let out = self
-                    .ftl
-                    .host_write(*lpn, now)
-                    .expect("flush target within user space");
-                flush_time += out.duration;
-                stalled |= out.foreground_gc;
-            }
-            if stalled {
+            let out = self
+                .ftl
+                .flush_batch(&batch.lpns, now)
+                .expect("flush target within user space");
+            if out.fgc_writes > 0 {
                 self.fgc_flush_stalls += 1;
             }
             let start = now.max(self.device_busy_until);
-            self.device_busy_until = start + flush_time;
+            self.device_busy_until = start + out.duration;
             let bytes = self.page_size() * batch.lpns.len() as u64;
-            self.policy.observe_write(bytes, flush_time);
+            self.policy.observe_write(bytes, out.duration);
+        }
+        if let Some(t0) = t0 {
+            self.profile.flush += t0.elapsed();
         }
 
         // 2. Account the device traffic of the interval that just closed
@@ -232,12 +279,19 @@ impl SsdSystem {
             self.pending_predictions.pop_front();
         }
 
-        // 3. Kernel-side predictors (paper Sec. 3.2).
+        // 3. Kernel-side predictors (paper Sec. 3.2). The SIP list is a
+        //    scratch buffer ping-ponged with the FTL (step 5), so the
+        //    poll reuses its backing storage instead of reallocating.
+        let t0 = self.timer();
         self.direct_pred
             .observe_interval(self.direct_bytes_interval);
         self.direct_bytes_interval = 0;
-        let (buffered_demand, sip) = self.buffered_pred.predict(&self.cache, now);
+        let mut sip = std::mem::take(&mut self.sip_scratch);
+        let buffered_demand = self.buffered_pred.predict_into(&self.cache, now, &mut sip);
         let direct_demand = self.direct_pred.predict();
+        if let Some(t0) = t0 {
+            self.profile.predictor += t0.elapsed();
+        }
 
         // 4. Policy decision (paper Sec. 3.3).
         let obs = IntervalObservation {
@@ -265,11 +319,19 @@ impl SsdSystem {
         //    C_free and the BGC command — four commands. The ideal
         //    in-device manager (Fig. 3(a)) pays nothing.
         if self.policy.uses_sip() {
-            self.ftl.set_sip_list(sip);
+            let t0 = self.timer();
+            // Swap the fresh list in and take last interval's back as the
+            // next poll's scratch — allocation-free in steady state.
+            self.sip_scratch = self.ftl.install_sip_list(sip);
+            if let Some(t0) = t0 {
+                self.profile.predictor += t0.elapsed();
+            }
             if self.config.manager_placement == crate::system::ManagerPlacement::Host {
                 self.device_busy_until = self.device_busy_until.max(now)
                     + self.config.host_command_overhead.saturating_mul(4);
             }
+        } else {
+            self.sip_scratch = sip;
         }
 
         // 6. Optional timeline snapshot for time-series analysis.
@@ -301,6 +363,14 @@ impl SsdSystem {
     /// ends at the next known event, BGC never delays host work — the
     /// model of a perfectly preemptible collector.
     fn run_bgc_in_gap(&mut self, t: SimTime) {
+        let t0 = self.timer();
+        self.bgc_in_gap(t);
+        if let Some(t0) = t0 {
+            self.profile.bgc += t0.elapsed();
+        }
+    }
+
+    fn bgc_in_gap(&mut self, t: SimTime) {
         if self.device_busy_until >= t {
             return;
         }
@@ -330,39 +400,50 @@ impl SsdSystem {
         match req.kind {
             IoKind::Read => {
                 self.reads += 1;
+                let mut misses = std::mem::take(&mut self.lpn_scratch);
+                misses.clear();
                 for lpn in req.lpns() {
                     if self.cache.read(lpn, issue) {
                         host_time += self.config.cache_op_time;
                     } else {
-                        match self.ftl.host_read(lpn, issue) {
-                            Ok(out) => device_time += out.duration,
-                            Err(FtlError::LpnUnmapped { .. }) => {
-                                // Never-written data reads back as zeros
-                                // without touching the device.
-                                host_time += self.config.cache_op_time;
-                            }
-                            Err(e) => panic!("read failed: {e}"),
-                        }
+                        misses.push(lpn);
                     }
                 }
+                if !misses.is_empty() {
+                    let out = self
+                        .ftl
+                        .host_read_batch(&misses, issue)
+                        .expect("workload stays within user space");
+                    device_time += out.duration;
+                    // Never-written data reads back as zeros without
+                    // touching the device.
+                    host_time += self.config.cache_op_time.saturating_mul(out.unmapped);
+                }
+                self.lpn_scratch = misses;
             }
             IoKind::BufferedWrite => {
                 self.buffered_writes += 1;
+                // The cache is saturated with dirty data: the oldest
+                // pages must hit the device before this write can be
+                // absorbed. Stage them and issue one batch below.
+                let mut writebacks = std::mem::take(&mut self.lpn_scratch);
+                writebacks.clear();
                 for lpn in req.lpns() {
                     host_time += self.config.cache_op_time;
                     let effect = self.cache.write(lpn, issue);
-                    for victim in effect.forced_writebacks {
-                        // The cache is saturated with dirty data: the
-                        // oldest page must hit the device before this
-                        // write can be absorbed.
-                        let out = self
-                            .ftl
-                            .host_write(victim, issue)
-                            .expect("cache holds user-space pages");
-                        device_time += out.duration;
-                        self.fgc_request_stalls += u64::from(out.foreground_gc);
-                    }
+                    writebacks.extend(effect.forced_writebacks);
                 }
+                if !writebacks.is_empty() {
+                    let out = self
+                        .ftl
+                        .host_write_batch(&writebacks, issue)
+                        .expect("cache holds user-space pages");
+                    device_time += out.duration;
+                    // Every forced write-back that hit foreground GC is
+                    // its own stall, exactly as in the per-page loop.
+                    self.fgc_request_stalls += out.fgc_writes;
+                }
+                self.lpn_scratch = writebacks;
                 // Linux dirty throttling: past the hard dirty ratio this
                 // writer performs write-back itself — synchronously, GC
                 // stalls and all. This is how a slow flush path reaches
@@ -370,33 +451,31 @@ impl SsdSystem {
                 let throttled = self.cache.throttle_excess();
                 if !throttled.is_empty() {
                     self.throttled_requests += 1;
-                    let mut stalled = false;
-                    for lpn in throttled {
-                        let out = self
-                            .ftl
-                            .host_write(lpn, issue)
-                            .expect("cache holds user-space pages");
-                        device_time += out.duration;
-                        stalled |= out.foreground_gc;
-                    }
-                    self.fgc_request_stalls += u64::from(stalled);
+                    let out = self
+                        .ftl
+                        .host_write_batch(&throttled, issue)
+                        .expect("cache holds user-space pages");
+                    device_time += out.duration;
+                    self.fgc_request_stalls += u64::from(out.fgc_writes > 0);
                 }
             }
             IoKind::DirectWrite => {
                 self.direct_writes += 1;
-                let mut stalled = false;
-                for lpn in req.lpns() {
-                    let out = self
-                        .ftl
-                        .host_write(lpn, issue)
-                        .expect("workload stays within user space");
-                    device_time += out.duration;
-                    stalled |= out.foreground_gc;
+                let mut lpns = std::mem::take(&mut self.lpn_scratch);
+                lpns.clear();
+                lpns.extend(req.lpns());
+                let out = self
+                    .ftl
+                    .host_write_batch(&lpns, issue)
+                    .expect("workload stays within user space");
+                device_time += out.duration;
+                self.fgc_request_stalls += u64::from(out.fgc_writes > 0);
+                for &lpn in &lpns {
                     // A direct write supersedes any cached copy; drop it so
                     // a stale flush cannot overwrite the new data.
                     self.cache.invalidate(lpn);
                 }
-                self.fgc_request_stalls += u64::from(stalled);
+                self.lpn_scratch = lpns;
                 let bytes = self.page_size() * u64::from(req.pages);
                 self.direct_bytes_interval += bytes.as_u64();
                 self.policy.observe_write(bytes, device_time);
@@ -714,6 +793,42 @@ mod tests {
         assert_eq!(back.victim, config.victim);
         assert_eq!(back.queue_depth, config.queue_depth);
         assert_eq!(back.prefill, config.prefill);
+    }
+
+    #[test]
+    fn phase_profiling_is_opt_in_and_does_not_change_results() {
+        let cfg = SystemConfig::small_for_tests();
+        let make = || {
+            let wl_cfg = WorkloadConfig::builder()
+                .working_set_pages(cfg.ftl.user_pages() / 2)
+                .duration(SimDuration::from_secs(20))
+                .mean_iops(1_500.0)
+                .seed(3)
+                .build();
+            SsdSystem::new(
+                cfg.clone(),
+                Box::new(JitGc::from_system_config(&cfg)),
+                BenchmarkKind::Ycsb.build(wl_cfg),
+            )
+        };
+        let mut plain = make();
+        let base = plain.run();
+        assert_eq!(
+            plain.phase_profile(),
+            crate::system::PhaseProfile::default()
+        );
+
+        let mut profiled = make();
+        profiled.enable_phase_profiling();
+        let report = profiled.run();
+        let profile = profiled.phase_profile();
+        assert!(profile.accounted() > std::time::Duration::ZERO);
+        assert!(profile.request_execution > std::time::Duration::ZERO);
+        // Profiling is observation only: the simulated results match.
+        assert_eq!(report.ops, base.ops);
+        assert_eq!(report.waf, base.waf);
+        assert_eq!(report.nand_erases, base.nand_erases);
+        assert_eq!(report.latency_p99_us, base.latency_p99_us);
     }
 
     #[test]

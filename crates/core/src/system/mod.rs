@@ -14,8 +14,10 @@
 
 mod config;
 mod engine;
+mod profile;
 mod report;
 
 pub use config::{ManagerPlacement, SystemConfig, VictimKind};
 pub use engine::SsdSystem;
+pub use profile::PhaseProfile;
 pub use report::{IntervalSample, SimReport};

@@ -1,0 +1,35 @@
+//! Wall-clock phase profiling for the simulation engine.
+
+use std::time::Duration;
+
+/// Wall-clock (host) time the engine spent in each simulator phase.
+///
+/// Collected only when [`SsdSystem::enable_phase_profiling`] was called,
+/// so the timing probes stay off the hot path by default. The breakdown
+/// is *simulator* cost — where the CPU time of a run goes — not simulated
+/// device time, and it never feeds back into simulation results: enabling
+/// profiling cannot change a report.
+///
+/// [`SsdSystem::enable_phase_profiling`]: crate::system::SsdSystem::enable_phase_profiling
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Executing host I/O requests (cache probes + FTL reads/writes).
+    pub request_execution: Duration,
+    /// Flusher write-back at each tick.
+    pub flush: Duration,
+    /// Predictor polls: buffered + direct demand, SIP build and install.
+    pub predictor: Duration,
+    /// Background GC during device idle gaps.
+    pub bgc: Duration,
+    /// Final report construction.
+    pub reporting: Duration,
+}
+
+impl PhaseProfile {
+    /// Total time attributed to a phase (the remainder up to the run's
+    /// wall time is untracked glue: workload generation, scheduling).
+    #[must_use]
+    pub fn accounted(&self) -> Duration {
+        self.request_execution + self.flush + self.predictor + self.bgc + self.reporting
+    }
+}

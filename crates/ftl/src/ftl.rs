@@ -27,6 +27,33 @@ pub struct ReadOutcome {
     pub duration: SimDuration,
 }
 
+/// Result of a batched host write ([`Ftl::host_write_batch`]).
+///
+/// Durations and page counts are sums over the batch; `fgc_writes` keeps
+/// *per-write* resolution because the engine's stall accounting charges
+/// one episode per foreground-collected write, not per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchWriteOutcome {
+    /// Total device time consumed, foreground GC included.
+    pub duration: SimDuration,
+    /// How many writes in the batch triggered foreground GC.
+    pub fgc_writes: u64,
+    /// Pages migrated by foreground GC across the batch.
+    pub migrated_pages: u64,
+    /// Blocks erased by foreground GC across the batch.
+    pub erased_blocks: u64,
+}
+
+/// Result of a batched host read ([`Ftl::host_read_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchReadOutcome {
+    /// Total device time consumed by the mapped reads.
+    pub duration: SimDuration,
+    /// Reads of never-written pages; the host layer zero-fills these
+    /// without touching the device.
+    pub unmapped: u64,
+}
+
 /// Result of one background-GC invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BgcOutcome {
@@ -134,6 +161,12 @@ impl Ftl {
     /// block (only possible with pathological over-provisioning).
     pub fn host_write(&mut self, lpn: Lpn, now: SimTime) -> Result<WriteOutcome, FtlError> {
         self.check_lpn(lpn)?;
+        self.host_write_checked(lpn, now)
+    }
+
+    /// [`host_write`](Self::host_write) body after address validation;
+    /// batch entry points validate the whole batch once, then call this.
+    fn host_write_checked(&mut self, lpn: Lpn, now: SimTime) -> Result<WriteOutcome, FtlError> {
         let mut outcome = WriteOutcome::default();
 
         // Make sure a page is available, reclaiming in the foreground if
@@ -215,6 +248,88 @@ impl Ftl {
         }
         self.stats.trims += 1;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Batched host operations
+    // ------------------------------------------------------------------
+
+    /// Writes a run of logical pages in order, validating every address
+    /// up front so the per-page path skips its bounds check. Device
+    /// operations happen in exactly the order a [`host_write`] loop would
+    /// issue them, so all counters and the device state end up identical.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] if *any* address is out of range — in
+    /// that case nothing has been written (unlike a caller loop, which
+    /// would stop mid-batch); [`FtlError::NoReclaimableSpace`] propagates
+    /// from foreground GC with the earlier pages already written.
+    ///
+    /// [`host_write`]: Self::host_write
+    pub fn host_write_batch(
+        &mut self,
+        lpns: &[Lpn],
+        now: SimTime,
+    ) -> Result<BatchWriteOutcome, FtlError> {
+        for &lpn in lpns {
+            self.check_lpn(lpn)?;
+        }
+        let mut out = BatchWriteOutcome::default();
+        for &lpn in lpns {
+            let w = self.host_write_checked(lpn, now)?;
+            out.duration += w.duration;
+            out.fgc_writes += u64::from(w.foreground_gc);
+            out.migrated_pages += w.migrated_pages;
+            out.erased_blocks += w.erased_blocks;
+        }
+        Ok(out)
+    }
+
+    /// Reads a run of logical pages. Unmapped pages are not errors here:
+    /// they are tallied in [`BatchReadOutcome::unmapped`] for the host
+    /// layer to zero-fill, letting one call serve a request whose pages
+    /// are partly unwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LpnOutOfRange`] if *any* address is out of range; no
+    /// page has been read in that case.
+    pub fn host_read_batch(
+        &mut self,
+        lpns: &[Lpn],
+        _now: SimTime,
+    ) -> Result<BatchReadOutcome, FtlError> {
+        for &lpn in lpns {
+            self.check_lpn(lpn)?;
+        }
+        let mut out = BatchReadOutcome::default();
+        for &lpn in lpns {
+            match self.mapping[lpn.0 as usize] {
+                Some(ppn) => {
+                    out.duration += self.device.read(ppn)?;
+                    self.stats.host_pages_read += 1;
+                }
+                None => out.unmapped += 1,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes back a flusher batch (dirty pages, oldest first). The write
+    /// path is exactly [`host_write_batch`](Self::host_write_batch); the
+    /// separate entry point keeps the flusher's call site honest about
+    /// intent and gives the profile a distinct frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`host_write_batch`](Self::host_write_batch).
+    pub fn flush_batch(
+        &mut self,
+        lpns: &[Lpn],
+        now: SimTime,
+    ) -> Result<BatchWriteOutcome, FtlError> {
+        self.host_write_batch(lpns, now)
     }
 
     // ------------------------------------------------------------------
@@ -601,7 +716,12 @@ impl Ftl {
     /// Installs the soon-to-be-invalidated page list delivered by the
     /// host-side predictor, replacing the previous one. Per-block SIP
     /// counts are recomputed from the current mapping.
-    pub fn set_sip_list(&mut self, sip: SipList) {
+    ///
+    /// Returns the displaced list so the caller can
+    /// [`clear`](SipList::clear) and refill it on the next poll — the
+    /// engine ping-pongs two bitmaps this way and the steady state
+    /// allocates nothing.
+    pub fn install_sip_list(&mut self, sip: SipList) -> SipList {
         self.sip_counts.fill(0);
         for lpn in sip.iter() {
             if let Some(Some(ppn)) = self.mapping.get(lpn.0 as usize) {
@@ -609,7 +729,13 @@ impl Ftl {
                 self.sip_counts[b.0 as usize] += 1;
             }
         }
-        self.sip = sip;
+        std::mem::replace(&mut self.sip, sip)
+    }
+
+    /// [`install_sip_list`](Self::install_sip_list) discarding the
+    /// displaced list, for callers that build a fresh list each time.
+    pub fn set_sip_list(&mut self, sip: SipList) {
+        let _ = self.install_sip_list(sip);
     }
 
     /// Enables or disables SIP-aware victim filtering (for the ablation
@@ -1203,6 +1329,86 @@ mod tests {
     fn victim_policy_name_is_exposed() {
         let ftl = small_ftl();
         assert_eq!(ftl.victim_policy(), "greedy");
+    }
+
+    #[test]
+    fn write_batch_matches_looped_writes() {
+        let looped = || {
+            let mut ftl = small_ftl();
+            let mut fgc = 0u64;
+            let mut dur = SimDuration::ZERO;
+            for round in 0..20u64 {
+                for lpn in 0..64u64 {
+                    let out = ftl.host_write(Lpn((lpn * 5) % 64), t(round)).expect("ok");
+                    fgc += u64::from(out.foreground_gc);
+                    dur += out.duration;
+                }
+            }
+            (*ftl.stats(), *ftl.device().stats(), fgc, dur)
+        };
+        let batched = || {
+            let mut ftl = small_ftl();
+            let mut fgc = 0u64;
+            let mut dur = SimDuration::ZERO;
+            let lpns: Vec<Lpn> = (0..64u64).map(|l| Lpn((l * 5) % 64)).collect();
+            for round in 0..20u64 {
+                let out = ftl.host_write_batch(&lpns, t(round)).expect("ok");
+                fgc += out.fgc_writes;
+                dur += out.duration;
+            }
+            (*ftl.stats(), *ftl.device().stats(), fgc, dur)
+        };
+        assert_eq!(looped(), batched());
+    }
+
+    #[test]
+    fn read_batch_matches_looped_reads_and_counts_unmapped() {
+        let mut ftl = small_ftl();
+        for lpn in 0..8u64 {
+            ftl.host_write(Lpn(lpn), t(0)).expect("ok");
+        }
+        // 4..12: half mapped, half never written.
+        let lpns: Vec<Lpn> = (4..12u64).map(Lpn).collect();
+        let mut looped_dur = SimDuration::ZERO;
+        let mut looped_unmapped = 0u64;
+        for &lpn in &lpns {
+            match ftl.host_read(lpn, t(1)) {
+                Ok(r) => looped_dur += r.duration,
+                Err(FtlError::LpnUnmapped { .. }) => looped_unmapped += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        let out = ftl.host_read_batch(&lpns, t(1)).expect("ok");
+        assert_eq!(out.duration, looped_dur);
+        assert_eq!(out.unmapped, looped_unmapped);
+        assert_eq!(out.unmapped, 4);
+        assert_eq!(ftl.stats().host_pages_read, 8);
+    }
+
+    #[test]
+    fn batch_rejects_any_out_of_range_address_upfront() {
+        let mut ftl = small_ftl();
+        let err = ftl.host_write_batch(&[Lpn(0), Lpn(64)], t(0));
+        assert!(matches!(err, Err(FtlError::LpnOutOfRange { .. })));
+        // Nothing was written: validation happens before the first program.
+        assert_eq!(ftl.stats().host_pages_written, 0);
+        assert!(matches!(
+            ftl.host_read_batch(&[Lpn(99)], t(0)),
+            Err(FtlError::LpnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn install_sip_list_returns_displaced_list() {
+        let mut ftl = small_ftl();
+        for lpn in 0..8u64 {
+            ftl.host_write(Lpn(lpn), t(0)).expect("ok");
+        }
+        let first: SipList = [Lpn(1), Lpn(2)].into_iter().collect();
+        let displaced = ftl.install_sip_list(first.clone());
+        assert!(displaced.is_empty());
+        let displaced = ftl.install_sip_list(SipList::new());
+        assert_eq!(displaced, first);
     }
 
     #[test]

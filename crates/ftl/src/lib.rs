@@ -55,7 +55,10 @@ mod victim_index;
 
 pub use config::{FtlConfig, FtlConfigBuilder};
 pub use error::FtlError;
-pub use ftl::{BgcOutcome, Ftl, ReadOutcome, WearLevelOutcome, WriteOutcome};
+pub use ftl::{
+    BatchReadOutcome, BatchWriteOutcome, BgcOutcome, Ftl, ReadOutcome, WearLevelOutcome,
+    WriteOutcome,
+};
 pub use sip::SipList;
 pub use stats::FtlStats;
 pub use victim::{

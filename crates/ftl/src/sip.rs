@@ -1,7 +1,6 @@
 //! The soon-to-be-invalidated page (SIP) list.
 
 use jitgc_nand::Lpn;
-use std::collections::HashSet;
 
 /// The set of logical pages expected to be invalidated shortly.
 ///
@@ -10,6 +9,17 @@ use std::collections::HashSet;
 /// become garbage as soon as the dirty page is flushed, so migrating it
 /// during BGC is wasted work. The FTL uses this list to steer victim
 /// selection away from blocks rich in soon-dead data (Sec. 3.3, Table 3).
+///
+/// # Representation
+///
+/// The predictor refills this set on every poll, so the representation is
+/// an *epoch-tagged bitmap* over the logical page space rather than a
+/// hash set: one bit per LPN (`Vec<u64>` words) plus a per-word generation
+/// stamp. [`clear`](SipList::clear) just bumps the generation counter —
+/// O(1) — and a stale stamp makes a word read as all-zeros, so words are
+/// lazily re-zeroed the first time they are touched in a new generation.
+/// Membership tests from the victim scorer are a shift and a mask with no
+/// hashing, and the backing storage is reused across polls.
 ///
 /// # Example
 ///
@@ -21,9 +31,27 @@ use std::collections::HashSet;
 /// assert!(sip.contains(Lpn(5)));
 /// assert_eq!(sip.len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct SipList {
-    lpns: HashSet<Lpn>,
+    /// Bit `i` of `words[w]` set (while `stamps[w] == generation`) means
+    /// `Lpn(w * 64 + i)` is on the list.
+    words: Vec<u64>,
+    /// Generation tag per word; a stale stamp reads as an all-zero word.
+    stamps: Vec<u32>,
+    generation: u32,
+    len: usize,
+}
+
+impl Default for SipList {
+    fn default() -> Self {
+        SipList {
+            words: Vec::new(),
+            stamps: Vec::new(),
+            // Starts above the all-zero stamps so untouched words are stale.
+            generation: 1,
+            len: 0,
+        }
+    }
 }
 
 impl SipList {
@@ -33,57 +61,157 @@ impl SipList {
         SipList::default()
     }
 
+    /// The word with stale-generation masking applied (0 out of range).
+    fn effective_word(&self, w: usize) -> u64 {
+        if w < self.words.len() && self.stamps[w] == self.generation {
+            self.words[w]
+        } else {
+            0
+        }
+    }
+
+    /// Grows the backing storage to cover word index `w`, then returns a
+    /// mutable reference to the word, re-zeroing it if its stamp is stale.
+    fn word_mut(&mut self, w: usize) -> &mut u64 {
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+            self.stamps.resize(w + 1, 0);
+        }
+        if self.stamps[w] != self.generation {
+            self.stamps[w] = self.generation;
+            self.words[w] = 0;
+        }
+        &mut self.words[w]
+    }
+
     /// `true` if `lpn` is expected to be invalidated soon.
     #[must_use]
     pub fn contains(&self, lpn: Lpn) -> bool {
-        self.lpns.contains(&lpn)
+        let (w, bit) = (lpn.0 / 64, lpn.0 % 64);
+        self.effective_word(w as usize) & (1 << bit) != 0
     }
 
     /// Adds a logical page; returns `false` if it was already present.
     pub fn insert(&mut self, lpn: Lpn) -> bool {
-        self.lpns.insert(lpn)
+        let (w, bit) = (lpn.0 / 64, lpn.0 % 64);
+        let word = self.word_mut(w as usize);
+        let mask = 1 << bit;
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        self.len += 1;
+        true
     }
 
     /// Removes a logical page (e.g. once the overwrite actually landed);
     /// returns `true` if it was present.
     pub fn remove(&mut self, lpn: Lpn) -> bool {
-        self.lpns.remove(&lpn)
+        let (w, bit) = (lpn.0 / 64, lpn.0 % 64);
+        if self.effective_word(w as usize) & (1 << bit) == 0 {
+            return false;
+        }
+        *self.word_mut(w as usize) &= !(1 << bit);
+        self.len -= 1;
+        true
     }
 
     /// Number of pages on the list.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lpns.len()
+        self.len
     }
 
     /// `true` when the list is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.lpns.is_empty()
+        self.len == 0
     }
 
-    /// Iterates the listed logical pages (unspecified order).
+    /// Iterates the listed logical pages in ascending address order.
     pub fn iter(&self) -> impl Iterator<Item = Lpn> + '_ {
-        self.lpns.iter().copied()
+        (0..self.words.len()).flat_map(move |w| {
+            let mut bits = self.effective_word(w);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                Some(Lpn(w as u64 * 64 + bit))
+            })
+        })
     }
 
-    /// Removes every entry.
+    /// Replaces the contents with a snapshot of a raw bitmap: bit
+    /// `l % 64` of `words[l / 64]` set means `Lpn(l)` is present, and
+    /// `len` is the number of set bits. One bulk copy instead of per-LPN
+    /// inserts — this is how the predictor turns the page cache's
+    /// dirty-LPN bitmap into the poll's SIP list.
+    pub fn assign_words(&mut self, words: &[u64], len: usize) {
+        self.clear();
+        self.words.clear();
+        self.words.extend_from_slice(words);
+        self.stamps.clear();
+        self.stamps.resize(words.len(), self.generation);
+        self.len = len;
+        debug_assert_eq!(
+            self.words
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>(),
+            len,
+            "assign_words len does not match the bitmap popcount"
+        );
+    }
+
+    /// Removes every entry in O(1) by bumping the generation; the backing
+    /// words are lazily re-zeroed on next touch.
     pub fn clear(&mut self) {
-        self.lpns.clear();
+        self.len = 0;
+        if self.generation == u32::MAX {
+            // Generation wrap: a stamp from 2^32 clears ago could alias the
+            // new generation, so eagerly reset every stamp once.
+            self.stamps.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+}
+
+impl PartialEq for SipList {
+    /// Set equality: generation tags and backing capacity are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let words = self.words.len().max(other.words.len());
+        (0..words).all(|w| self.effective_word(w) == other.effective_word(w))
+    }
+}
+
+impl Eq for SipList {}
+
+impl std::fmt::Debug for SipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
     }
 }
 
 impl FromIterator<Lpn> for SipList {
     fn from_iter<T: IntoIterator<Item = Lpn>>(iter: T) -> Self {
-        SipList {
-            lpns: iter.into_iter().collect(),
-        }
+        let mut sip = SipList::new();
+        sip.extend(iter);
+        sip
     }
 }
 
 impl Extend<Lpn> for SipList {
     fn extend<T: IntoIterator<Item = Lpn>>(&mut self, iter: T) {
-        self.lpns.extend(iter);
+        for lpn in iter {
+            self.insert(lpn);
+        }
     }
 }
 
@@ -117,5 +245,80 @@ mod tests {
         let mut sip: SipList = [Lpn(9)].into_iter().collect();
         sip.clear();
         assert!(sip.is_empty());
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let sip: SipList = [Lpn(130), Lpn(2), Lpn(64), Lpn(63)].into_iter().collect();
+        let all: Vec<u64> = sip.iter().map(|l| l.0).collect();
+        assert_eq!(all, vec![2, 63, 64, 130]);
+    }
+
+    #[test]
+    fn contains_past_backing_storage_is_false() {
+        let sip: SipList = [Lpn(3)].into_iter().collect();
+        assert!(!sip.contains(Lpn(1_000_000)));
+        let mut sip = sip;
+        assert!(!sip.remove(Lpn(1_000_000)));
+    }
+
+    #[test]
+    fn clear_reuses_storage_without_ghosts() {
+        let mut sip = SipList::new();
+        for round in 0..5u64 {
+            assert!(sip.is_empty());
+            for i in 0..200u64 {
+                assert!(
+                    sip.insert(Lpn(i * 3 + round)),
+                    "ghost bit from round {}",
+                    round
+                );
+            }
+            assert_eq!(sip.len(), 200);
+            assert!(!sip.contains(Lpn(601 + round)));
+            sip.clear();
+        }
+        assert!(!sip.contains(Lpn(3)));
+    }
+
+    #[test]
+    fn equality_is_set_semantics() {
+        let a: SipList = [Lpn(1), Lpn(200)].into_iter().collect();
+        // Same contents via a different history: extra inserts + clears grow
+        // the backing storage and advance the generation.
+        let mut b = SipList::new();
+        b.insert(Lpn(4_096));
+        b.clear();
+        b.insert(Lpn(200));
+        b.insert(Lpn(1));
+        assert_eq!(a, b);
+        b.insert(Lpn(7));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn assign_words_snapshots_a_raw_bitmap() {
+        let mut sip: SipList = [Lpn(900)].into_iter().collect();
+        let words = [0b101u64, 0, 1 << 63];
+        sip.assign_words(&words, 3);
+        let all: Vec<u64> = sip.iter().map(|l| l.0).collect();
+        assert_eq!(all, vec![0, 2, 191]);
+        assert!(!sip.contains(Lpn(900)));
+        // Matches the same set built by per-LPN inserts.
+        let by_insert: SipList = [Lpn(0), Lpn(2), Lpn(191)].into_iter().collect();
+        assert_eq!(sip, by_insert);
+    }
+
+    #[test]
+    fn generation_wrap_resets_stamps() {
+        let mut sip = SipList::new();
+        sip.insert(Lpn(5));
+        sip.generation = u32::MAX;
+        sip.stamps[0] = u32::MAX; // simulate a word touched at the last generation
+        sip.words[0] = 1 << 5;
+        sip.clear();
+        assert_eq!(sip.generation, 1);
+        assert!(!sip.contains(Lpn(5)));
+        assert!(sip.insert(Lpn(5)));
     }
 }

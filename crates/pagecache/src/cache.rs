@@ -21,6 +21,18 @@
 //! monotone (overlapping requests at queue depth > 1). Freed slots are
 //! recycled through a free list threaded over the same `next` links, so
 //! the slab never exceeds the configured capacity.
+//!
+//! # Dirty-age epoch counters
+//!
+//! On top of the dirty list the cache maintains a histogram of dirty
+//! pages bucketed by *flusher epoch*: `e = ⌈last_update / p⌉` with `p`
+//! the configured [`flusher_period`](PageCacheConfig::flusher_period).
+//! Every dirty-list insert/remove adjusts one counter, so the
+//! buffered-write predictor can read per-write-back-interval demand in
+//! O(distinct epochs) instead of walking every dirty page
+//! ([`dirty_epochs`](PageCache::dirty_epochs)). Pages sharing an epoch
+//! share a write-back interval at every poll that is a multiple of `p`,
+//! which is exactly when the engine polls.
 
 use crate::{PageCacheConfig, PageCacheStats};
 use jitgc_nand::Lpn;
@@ -81,6 +93,15 @@ pub struct PageCache {
     clean_head: u32,
     clean_tail: u32,
     next_seq: u64,
+    /// Dirty pages per flusher epoch `⌈last_update / p⌉`; zero counts are
+    /// removed so iteration touches only live buckets.
+    dirty_epochs: FxHashMap<u64, u64>,
+    /// Cached `flusher_period` in microseconds (epoch divisor).
+    period_us: u64,
+    /// Bitmap of dirty LPNs (bit `l % 64` of word `l / 64`), maintained in
+    /// lock-step with the dirty list so the predictor can snapshot the SIP
+    /// set with one `memcpy` instead of walking the list.
+    dirty_bits: Vec<u64>,
     stats: PageCacheStats,
 }
 
@@ -88,6 +109,7 @@ impl PageCache {
     /// Creates an empty cache.
     #[must_use]
     pub fn new(config: PageCacheConfig) -> Self {
+        let period_us = config.flusher_period().as_micros();
         PageCache {
             config,
             slots: Vec::new(),
@@ -99,6 +121,9 @@ impl PageCache {
             clean_head: NIL,
             clean_tail: NIL,
             next_seq: 0,
+            dirty_epochs: FxHashMap::default(),
+            period_us,
+            dirty_bits: Vec::new(),
             stats: PageCacheStats::default(),
         }
     }
@@ -273,6 +298,23 @@ impl PageCache {
         })
     }
 
+    /// Iterates the dirty-age histogram as `(epoch, pages)` pairs, where
+    /// `epoch = ⌈last_update / flusher_period⌉` in whole periods.
+    /// Iteration order is unspecified; consumers must combine buckets
+    /// order-independently (the predictor's demand sums are additive).
+    pub fn dirty_epochs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.dirty_epochs.iter().map(|(&e, &n)| (e, n))
+    }
+
+    /// The dirty-LPN set as bitmap words: bit `l % 64` of word `l / 64`
+    /// is set iff `Lpn(l)` is dirty. Exactly
+    /// [`dirty_count`](Self::dirty_count) bits are set. The predictor
+    /// snapshots this into the SIP list wholesale.
+    #[must_use]
+    pub fn dirty_lpn_words(&self) -> &[u64] {
+        &self.dirty_bits
+    }
+
     /// Writer throttling (Linux `balance_dirty_pages`): when total dirty
     /// data exceeds the hard `dirty_ratio` limit, the *writing process*
     /// must write back the oldest dirty pages itself, synchronously, until
@@ -307,6 +349,43 @@ impl PageCache {
         self.unlink(i);
         self.free_slot(i);
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty-age epoch counters and dirty-LPN bitmap
+    // ------------------------------------------------------------------
+
+    /// Flusher epoch of a dirty timestamp: `⌈t / p⌉` in whole periods.
+    fn epoch_of(&self, at: SimTime) -> u64 {
+        at.as_micros().div_ceil(self.period_us)
+    }
+
+    /// Records `lpn` entering the dirty list with timestamp `at`.
+    fn dirty_track_add(&mut self, lpn: Lpn, at: SimTime) {
+        let e = self.epoch_of(at);
+        *self.dirty_epochs.entry(e).or_insert(0) += 1;
+        let w = (lpn.0 / 64) as usize;
+        if w >= self.dirty_bits.len() {
+            self.dirty_bits.resize(w + 1, 0);
+        }
+        debug_assert_eq!(self.dirty_bits[w] & (1 << (lpn.0 % 64)), 0);
+        self.dirty_bits[w] |= 1 << (lpn.0 % 64);
+    }
+
+    /// Records `lpn` leaving the dirty list; `at` is the timestamp it was
+    /// tracked under.
+    fn dirty_track_remove(&mut self, lpn: Lpn, at: SimTime) {
+        let e = self.epoch_of(at);
+        match self.dirty_epochs.get_mut(&e) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.dirty_epochs.remove(&e);
+            }
+            None => debug_assert!(false, "epoch counter underflow at epoch {e}"),
+        }
+        let w = (lpn.0 / 64) as usize;
+        debug_assert_ne!(self.dirty_bits[w] & (1 << (lpn.0 % 64)), 0);
+        self.dirty_bits[w] &= !(1 << (lpn.0 % 64));
     }
 
     // ------------------------------------------------------------------
@@ -351,6 +430,10 @@ impl PageCache {
     /// Unlinks `idx` from whichever list (dirty or clean) it is on.
     fn unlink(&mut self, idx: u32) {
         if self.slots[idx as usize].dirty {
+            let (lpn, at) = {
+                let slot = &self.slots[idx as usize];
+                (slot.lpn, slot.last_update)
+            };
             Self::detach(
                 &mut self.slots,
                 &mut self.dirty_head,
@@ -358,6 +441,7 @@ impl PageCache {
                 idx,
             );
             self.dirty_len -= 1;
+            self.dirty_track_remove(lpn, at);
         } else {
             Self::detach(
                 &mut self.slots,
@@ -372,6 +456,10 @@ impl PageCache {
     /// clean list's MRU tail.
     fn mark_clean(&mut self, idx: u32) {
         debug_assert!(self.slots[idx as usize].dirty);
+        let (lpn, at) = {
+            let slot = &self.slots[idx as usize];
+            (slot.lpn, slot.last_update)
+        };
         Self::detach(
             &mut self.slots,
             &mut self.dirty_head,
@@ -379,6 +467,7 @@ impl PageCache {
             idx,
         );
         self.dirty_len -= 1;
+        self.dirty_track_remove(lpn, at);
         self.slots[idx as usize].dirty = false;
         Self::link_tail(
             &mut self.slots,
@@ -393,10 +482,11 @@ impl PageCache {
     /// always the youngest, so the backward scan from the tail terminates
     /// immediately in the common case.
     fn dirty_insert_sorted(&mut self, idx: u32) {
-        let key = {
+        let (lpn, key) = {
             let slot = &self.slots[idx as usize];
-            (slot.last_update, slot.seq)
+            (slot.lpn, (slot.last_update, slot.seq))
         };
+        self.dirty_track_add(lpn, key.0);
         let mut after = self.dirty_tail;
         while after != NIL {
             let slot = &self.slots[after as usize];
@@ -434,6 +524,7 @@ impl PageCache {
         } else if self.dirty_head != NIL {
             let idx = self.dirty_head;
             let lpn = self.slots[idx as usize].lpn;
+            let at = self.slots[idx as usize].last_update;
             Self::detach(
                 &mut self.slots,
                 &mut self.dirty_head,
@@ -441,6 +532,7 @@ impl PageCache {
                 idx,
             );
             self.dirty_len -= 1;
+            self.dirty_track_remove(lpn, at);
             self.slot_of.remove(&lpn);
             self.free_slot(idx);
             self.stats.forced_writebacks += 1;
@@ -742,6 +834,52 @@ mod tests {
         assert!(c.is_empty());
         // The slab never grew beyond the configured capacity.
         assert!(c.slots.len() <= 4, "slab leaked slots: {}", c.slots.len());
+    }
+
+    #[test]
+    fn epoch_counters_match_dirty_scan_under_churn() {
+        let mut c = cache(6);
+        let p_us = c.config().flusher_period().as_micros();
+        for step in 0..400u64 {
+            let lpn = Lpn(step % 11);
+            // Sub-second timestamps so epochs straddle period boundaries.
+            let now = SimTime::from_micros(step * 1_700_000);
+            match step % 6 {
+                0..=2 => {
+                    c.write(lpn, now);
+                }
+                3 => {
+                    c.read(lpn, now);
+                }
+                4 => {
+                    c.invalidate(lpn);
+                }
+                _ => {
+                    c.flusher_tick(now);
+                }
+            }
+            let mut scanned: std::collections::BTreeMap<u64, u64> = Default::default();
+            for (_, at) in c.dirty_pages() {
+                *scanned.entry(at.as_micros().div_ceil(p_us)).or_insert(0) += 1;
+            }
+            let mut counted: std::collections::BTreeMap<u64, u64> = Default::default();
+            for (e, n) in c.dirty_epochs() {
+                assert!(n > 0, "zero bucket retained at step {step}");
+                counted.insert(e, n);
+            }
+            assert_eq!(counted, scanned, "epoch histogram desynced at {step}");
+            // The dirty-LPN bitmap tracks exactly the dirty set.
+            let words = c.dirty_lpn_words();
+            let popcount: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+            assert_eq!(popcount, c.dirty_count(), "bitmap popcount at {step}");
+            for (lpn, _) in c.dirty_pages() {
+                assert_ne!(
+                    words[(lpn.0 / 64) as usize] & (1 << (lpn.0 % 64)),
+                    0,
+                    "dirty {lpn:?} missing from bitmap at {step}"
+                );
+            }
+        }
     }
 
     #[test]

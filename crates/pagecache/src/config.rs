@@ -25,6 +25,7 @@ pub struct PageCacheConfig {
     tau_expire: SimDuration,
     tau_flush_permille: u64,
     throttle_permille: u64,
+    flusher_period: SimDuration,
 }
 
 impl PageCacheConfig {
@@ -74,6 +75,30 @@ impl PageCacheConfig {
         self.capacity_pages * self.throttle_permille / 1000
     }
 
+    /// The flusher wake-up period `p` the cache assumes when bucketing
+    /// dirty pages by age for the predictor's incremental demand counters.
+    /// Must match the engine's flusher period for the O(1) poll path to
+    /// engage; a mismatch only costs speed (the predictor falls back to
+    /// the full dirty-list scan), never correctness.
+    #[must_use]
+    pub fn flusher_period(&self) -> SimDuration {
+        self.flusher_period
+    }
+
+    /// A copy of this configuration with the flusher period replaced —
+    /// how an embedding simulator aligns the cache's age buckets with its
+    /// own tick period without re-spelling the whole builder chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero.
+    #[must_use]
+    pub fn with_flusher_period(mut self, p: SimDuration) -> Self {
+        assert!(!p.is_zero(), "flusher_period must be non-zero");
+        self.flusher_period = p;
+        self
+    }
+
     /// Serializes to the repository's JSON config format.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
@@ -82,6 +107,7 @@ impl PageCacheConfig {
             .field("tau_expire_us", self.tau_expire.as_micros())
             .field("tau_flush_permille", self.tau_flush_permille)
             .field("throttle_permille", self.throttle_permille)
+            .field("flusher_period_us", self.flusher_period.as_micros())
             .build()
     }
 
@@ -96,12 +122,17 @@ impl PageCacheConfig {
                 .as_u64()
                 .ok_or_else(|| JsonError::new(format!("`{key}` must be an integer")))
         };
-        Ok(PageCacheConfig::builder()
+        let mut builder = PageCacheConfig::builder()
             .capacity_pages(u64_field("capacity_pages")?)
             .tau_expire(SimDuration::from_micros(u64_field("tau_expire_us")?))
             .tau_flush_permille(u64_field("tau_flush_permille")?)
-            .throttle_permille(u64_field("throttle_permille")?)
-            .build())
+            .throttle_permille(u64_field("throttle_permille")?);
+        // Older config files predate the flusher-period field; keep them
+        // loading with the builder default.
+        if let Some(us) = v.get("flusher_period_us").and_then(JsonValue::as_u64) {
+            builder = builder.flusher_period(SimDuration::from_micros(us));
+        }
+        Ok(builder.build())
     }
 }
 
@@ -115,6 +146,7 @@ pub struct PageCacheConfigBuilder {
     tau_expire: SimDuration,
     tau_flush_permille: u64,
     throttle_permille: u64,
+    flusher_period: SimDuration,
 }
 
 impl Default for PageCacheConfigBuilder {
@@ -124,6 +156,7 @@ impl Default for PageCacheConfigBuilder {
             tau_expire: SimDuration::from_secs(30),
             tau_flush_permille: 100,
             throttle_permille: 200,
+            flusher_period: SimDuration::from_secs(5),
         }
     }
 }
@@ -158,6 +191,14 @@ impl PageCacheConfigBuilder {
         self
     }
 
+    /// Sets the flusher wake-up period `p` used to bucket dirty pages by
+    /// age (default 5 s, the paper's Linux default).
+    #[must_use]
+    pub fn flusher_period(mut self, p: SimDuration) -> Self {
+        self.flusher_period = p;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -170,11 +211,16 @@ impl PageCacheConfigBuilder {
             !self.tau_expire.is_zero(),
             "tau_expire must be non-zero (a zero value means no caching)"
         );
+        assert!(
+            !self.flusher_period.is_zero(),
+            "flusher_period must be non-zero"
+        );
         PageCacheConfig {
             capacity_pages: self.capacity_pages,
             tau_expire: self.tau_expire,
             tau_flush_permille: self.tau_flush_permille,
             throttle_permille: self.throttle_permille,
+            flusher_period: self.flusher_period,
         }
     }
 }
@@ -190,8 +236,20 @@ mod tests {
             .tau_expire(SimDuration::from_secs(9))
             .tau_flush_permille(150)
             .throttle_permille(350)
+            .flusher_period(SimDuration::from_millis(750))
             .build();
         let back = PageCacheConfig::from_json(&c.to_json()).expect("parse");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn json_without_flusher_period_uses_default() {
+        let c = PageCacheConfig::builder().build();
+        let mut v = c.to_json();
+        if let JsonValue::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "flusher_period_us");
+        }
+        let back = PageCacheConfig::from_json(&v).expect("parse");
         assert_eq!(back, c);
     }
 
@@ -201,6 +259,7 @@ mod tests {
         assert_eq!(c.capacity_pages(), 2_048);
         assert_eq!(c.tau_expire(), SimDuration::from_secs(30));
         assert_eq!(c.tau_flush_permille(), 100);
+        assert_eq!(c.flusher_period(), SimDuration::from_secs(5));
     }
 
     #[test]
