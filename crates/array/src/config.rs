@@ -1,0 +1,80 @@
+//! Array construction.
+
+use crate::{ArrayScheduler, GcMode, Redundancy, StripeMap};
+use jitgc_core::policy::GcPolicy;
+use jitgc_core::system::{SsdSystem, SystemConfig};
+use jitgc_workload::{NullWorkload, Workload};
+
+/// Configuration of a multi-SSD array.
+///
+/// Every member is a complete [`SsdSystem`] built from the same
+/// [`SystemConfig`] — the array does not shrink devices to fit the
+/// volume; it stripes the volume over full devices. Size the workload's
+/// working set to `columns × (per-device working set)` to load each
+/// member like the standalone single-device experiments do.
+#[derive(Debug, Clone)]
+pub struct ArrayConfig {
+    /// Number of member devices (≥ 1).
+    pub members: usize,
+    /// Stripe chunk size in pages.
+    pub chunk_pages: u64,
+    /// Data layout across members.
+    pub redundancy: Redundancy,
+    /// BGC coordination across members.
+    pub gc_mode: GcMode,
+    /// Per-member system configuration (identical for every member).
+    pub system: SystemConfig,
+}
+
+impl ArrayConfig {
+    /// Builds the array and its scheduler around `workload`.
+    ///
+    /// `policy` is invoked once per member so each device gets its own
+    /// policy instance (policies carry mutable prediction state).
+    ///
+    /// Each member's [`NullWorkload`] stub reports the workload's name and
+    /// write mix plus that member's *share* of the working set (its
+    /// column's [`member_extent`](StripeMap::member_extent)), so aging /
+    /// prefill fills each member the way the standalone path would. A
+    /// single-member array is therefore configured identically to a plain
+    /// [`SsdSystem`] running the same workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe geometry is invalid (see [`StripeMap::new`])
+    /// or if any member's share of the working set exceeds the device's
+    /// logical space.
+    #[must_use]
+    pub fn build<F>(&self, mut policy: F, workload: Box<dyn Workload>) -> ArrayScheduler
+    where
+        F: FnMut(&SystemConfig) -> Box<dyn GcPolicy>,
+    {
+        let stripe = StripeMap::new(self.members, self.chunk_pages, self.redundancy);
+        let volume = workload.working_set_pages();
+        let name = workload.name();
+        let mix = workload.write_mix();
+        let mut members = Vec::with_capacity(self.members);
+        for device in 0..self.members {
+            let column = match self.redundancy {
+                Redundancy::None => device,
+                Redundancy::Mirror => device / 2,
+            };
+            // A column the volume never reaches still needs a non-empty
+            // logical space to build a device around.
+            let share = stripe.member_extent(column, volume).max(1);
+            assert!(
+                share <= self.system.ftl.user_pages(),
+                "member {device} needs {share} pages but the device exposes {}; \
+                 shrink the workload or add members",
+                self.system.ftl.user_pages()
+            );
+            let stub = NullWorkload::new(name, share, mix);
+            members.push(SsdSystem::new(
+                self.system.clone(),
+                policy(&self.system),
+                Box::new(stub),
+            ));
+        }
+        ArrayScheduler::new(members, stripe, self.gc_mode, workload)
+    }
+}

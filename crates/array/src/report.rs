@@ -1,0 +1,103 @@
+//! The per-run result record for an array simulation.
+
+use jitgc_core::system::SimReport;
+use jitgc_nand::WearReport;
+use jitgc_sim::json::{JsonValue, ObjectBuilder};
+
+/// Everything one array run measured: array-level request statistics plus
+/// the full per-member [`SimReport`]s the aggregates were derived from.
+///
+/// The array's latency distribution is *not* the merge of the member
+/// distributions — a striped request completes when its **slowest**
+/// sub-request does, so array tail latency is recorded at the volume
+/// level by the scheduler and is generally worse than any single member's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayReport {
+    /// Member count.
+    pub members: usize,
+    /// Stripe chunk size in pages.
+    pub chunk_pages: u64,
+    /// Redundancy scheme name ("raid0" / "mirror").
+    pub redundancy: String,
+    /// BGC coordination mode name ("unsync" / "staggered").
+    pub gc_mode: String,
+    /// Policy display name (same on every member).
+    pub policy: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Simulated run length in seconds (the slowest member's horizon).
+    pub duration_secs: f64,
+
+    /// Completed logical (volume-level) requests.
+    pub ops: u64,
+    /// Logical requests per simulated second.
+    pub iops: f64,
+    /// Logical requests whose extent crossed a chunk boundary and fanned
+    /// out to more than one sub-request.
+    pub split_requests: u64,
+    /// Mirrored reads steered away from a busier primary replica.
+    pub routed_reads: u64,
+
+    /// Mean volume-level request latency in microseconds.
+    pub latency_mean_us: u64,
+    /// Median volume-level request latency in microseconds.
+    pub latency_p50_us: u64,
+    /// 99th-percentile volume-level request latency in microseconds.
+    pub latency_p99_us: u64,
+    /// 99.9th-percentile volume-level request latency in microseconds.
+    pub latency_p999_us: u64,
+    /// Worst volume-level request latency in microseconds.
+    pub latency_max_us: u64,
+
+    /// Array-level Write Amplification Factor:
+    /// Σ member NAND programs / Σ member host writes.
+    pub waf: f64,
+    /// Total NAND block erases across all members.
+    pub nand_erases: u64,
+    /// Spread of *per-member* total erase counts — the array-level
+    /// analogue of per-block wear leveling. A large `std_dev` here means
+    /// striping + GC coordination is wearing members unevenly and the
+    /// array's lifetime is set by its unluckiest device.
+    pub erase_spread: WearReport,
+    /// Host requests (sub-requests) that stalled on foreground GC,
+    /// summed over members.
+    pub fgc_request_stalls: u64,
+    /// Blocks reclaimed by background GC, summed over members.
+    pub bgc_blocks: u64,
+
+    /// The untouched per-member reports.
+    pub member_reports: Vec<SimReport>,
+}
+
+impl ArrayReport {
+    /// Serializes the full report (aggregate section plus one entry per
+    /// member) to the repository's JSON format.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let members: Vec<JsonValue> = self.member_reports.iter().map(SimReport::to_json).collect();
+        ObjectBuilder::new()
+            .field("members", self.members as u64)
+            .field("chunk_pages", self.chunk_pages)
+            .field("redundancy", self.redundancy.as_str())
+            .field("gc_mode", self.gc_mode.as_str())
+            .field("policy", self.policy.as_str())
+            .field("workload", self.workload.as_str())
+            .field("duration_secs", self.duration_secs)
+            .field("ops", self.ops)
+            .field("iops", self.iops)
+            .field("split_requests", self.split_requests)
+            .field("routed_reads", self.routed_reads)
+            .field("latency_mean_us", self.latency_mean_us)
+            .field("latency_p50_us", self.latency_p50_us)
+            .field("latency_p99_us", self.latency_p99_us)
+            .field("latency_p999_us", self.latency_p999_us)
+            .field("latency_max_us", self.latency_max_us)
+            .field("waf", self.waf)
+            .field("nand_erases", self.nand_erases)
+            .field("erase_spread", self.erase_spread.to_json())
+            .field("fgc_request_stalls", self.fgc_request_stalls)
+            .field("bgc_blocks", self.bgc_blocks)
+            .field("member_reports", JsonValue::Array(members))
+            .build()
+    }
+}

@@ -1,0 +1,253 @@
+//! The array's closed-loop request engine.
+
+use crate::{ArrayManager, ArrayReport, GcMode, StripeExtent, StripeMap};
+use jitgc_core::system::{GcSignals, SsdSystem};
+use jitgc_nand::{Lpn, WearReport};
+use jitgc_sim::stats::LatencyRecorder;
+use jitgc_sim::SimTime;
+use jitgc_workload::{IoKind, IoRequest, Workload};
+
+/// Drives N member [`SsdSystem`]s in virtual-time lockstep behind one
+/// logical volume.
+///
+/// The scheduler owns the closed loop the single-device engine runs
+/// internally — `queue_depth` application threads dealing requests
+/// round-robin, each issuing its next request a think-time after its own
+/// previous completion — and replaces the "execute on the device" step
+/// with *split, route, fan out*: the request's extent is split into one
+/// sub-request per touched member via the [`StripeMap`], mirrored reads
+/// are steered by the [`ArrayManager`], and the logical request completes
+/// when the slowest sub-request does.
+///
+/// With one member and one chunk-aligned column the split is the
+/// identity, the routing is trivial and the member sees the exact request
+/// sequence [`SsdSystem::run`] would have produced — so a 1-member array
+/// reports byte-identical per-device results to the standalone path.
+pub struct ArrayScheduler {
+    members: Vec<SsdSystem>,
+    stripe: StripeMap,
+    manager: ArrayManager,
+    workload: Box<dyn Workload>,
+
+    // Closed-loop schedule state, mirroring the single-device engine.
+    thread_completion: Vec<SimTime>,
+    next_thread: usize,
+    schedule: SimTime,
+
+    // Volume-level measurements.
+    latencies: LatencyRecorder,
+    ops: u64,
+    split_requests: u64,
+
+    // Scratch reused across requests so the steady state allocates nothing.
+    sub_scratch: Vec<StripeExtent>,
+}
+
+impl ArrayScheduler {
+    /// Builds a scheduler over already-constructed members. Use
+    /// [`ArrayConfig::build`](crate::ArrayConfig::build) instead of
+    /// calling this directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or its length disagrees with the
+    /// stripe map.
+    #[must_use]
+    pub fn new(
+        members: Vec<SsdSystem>,
+        stripe: StripeMap,
+        gc_mode: GcMode,
+        workload: Box<dyn Workload>,
+    ) -> Self {
+        assert!(!members.is_empty(), "array needs at least one member");
+        assert_eq!(
+            members.len(),
+            stripe.members(),
+            "member count disagrees with the stripe map"
+        );
+        let queue_depth = members[0].config().queue_depth.max(1) as usize;
+        ArrayScheduler {
+            members,
+            stripe,
+            manager: ArrayManager::new(gc_mode),
+            workload,
+            thread_completion: vec![SimTime::ZERO; queue_depth],
+            next_thread: 0,
+            schedule: SimTime::ZERO,
+            latencies: LatencyRecorder::new(),
+            ops: 0,
+            split_requests: 0,
+            sub_scratch: Vec::new(),
+        }
+    }
+
+    /// Turns on wall-clock phase profiling on every member (see
+    /// [`SsdSystem::enable_phase_profiling`]).
+    pub fn enable_phase_profiling(&mut self) {
+        for m in &mut self.members {
+            m.enable_phase_profiling();
+        }
+    }
+
+    /// The summed per-phase wall-clock breakdown over all members (all
+    /// zero unless [`enable_phase_profiling`] was called before
+    /// [`run`](ArrayScheduler::run)).
+    ///
+    /// [`enable_phase_profiling`]: ArrayScheduler::enable_phase_profiling
+    #[must_use]
+    pub fn phase_profile(&self) -> jitgc_core::system::PhaseProfile {
+        let mut total = jitgc_core::system::PhaseProfile::default();
+        for m in &self.members {
+            let p = m.phase_profile();
+            total.request_execution += p.request_execution;
+            total.flush += p.flush;
+            total.predictor += p.predictor;
+            total.bgc += p.bgc;
+            total.reporting += p.reporting;
+        }
+        total
+    }
+
+    /// Read-only access to the members (for tests and signal polling).
+    #[must_use]
+    pub fn members(&self) -> &[SsdSystem] {
+        &self.members
+    }
+
+    /// Current JIT-GC telemetry of every member — what a host-side array
+    /// manager polls to decide routing and staggering.
+    #[must_use]
+    pub fn member_signals(&self) -> Vec<GcSignals> {
+        self.members.iter().map(SsdSystem::gc_signals).collect()
+    }
+
+    /// Runs the workload to exhaustion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member's FTL signals an unrecoverable condition,
+    /// which indicates a misconfigured experiment.
+    pub fn run(&mut self) -> ArrayReport {
+        self.manager.apply_stagger(&mut self.members);
+        if self.members[0].config().prefill {
+            for m in &mut self.members {
+                m.prefill();
+            }
+        }
+        while let Some(req) = self.workload.next_request() {
+            let thread = self.next_thread;
+            self.next_thread = (self.next_thread + 1) % self.thread_completion.len();
+            let issue = self.thread_completion[thread] + req.gap;
+            self.schedule = self.schedule.max(issue);
+            let completion = self.dispatch(req, issue);
+            self.thread_completion[thread] = completion;
+            self.latencies.record(completion.saturating_since(issue));
+            self.ops += 1;
+        }
+        let end = self
+            .thread_completion
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .max(self.schedule);
+        self.build_report(end)
+    }
+
+    /// Splits one logical request, fans the sub-requests out to their
+    /// members at `issue`, and returns the logical completion time (the
+    /// slowest sub-request's completion).
+    fn dispatch(&mut self, req: IoRequest, issue: SimTime) -> SimTime {
+        self.sub_scratch.clear();
+        self.stripe
+            .split(req.lpn.0, req.pages, &mut self.sub_scratch);
+        if self.sub_scratch.len() > 1 {
+            self.split_requests += 1;
+        }
+        let mut completion = issue;
+        for i in 0..self.sub_scratch.len() {
+            let extent = self.sub_scratch[i];
+            let (primary, replica) = self.stripe.devices_of(extent.column);
+            let sub = IoRequest {
+                gap: req.gap,
+                kind: req.kind,
+                lpn: Lpn(extent.member_lpn),
+                pages: extent.pages,
+            };
+            match (req.kind, replica) {
+                (IoKind::Read, Some(replica)) => {
+                    // A mirrored read has a choice — take the replica
+                    // that is idle (not mid-GC or mid-transfer) or, on a
+                    // tie, the one further from its FGC threshold. Bring
+                    // both candidates' clocks up to the issue time first:
+                    // members process periodic work lazily, so an
+                    // un-advanced replica would report a stale (idle)
+                    // `busy_until` and attract exactly the reads its
+                    // overdue flush is about to stall.
+                    self.members[primary].advance_to(issue);
+                    self.members[replica].advance_to(issue);
+                    let device =
+                        self.manager
+                            .choose_replica(primary, replica, &self.members, issue);
+                    completion = completion.max(self.members[device].step(sub, issue));
+                }
+                (_, Some(replica)) => {
+                    // Writes and trims must keep the replicas coherent.
+                    completion = completion.max(self.members[primary].step(sub, issue));
+                    completion = completion.max(self.members[replica].step(sub, issue));
+                }
+                (_, None) => {
+                    completion = completion.max(self.members[primary].step(sub, issue));
+                }
+            }
+        }
+        completion
+    }
+
+    fn build_report(&mut self, end: SimTime) -> ArrayReport {
+        let member_reports: Vec<_> = self.members.iter_mut().map(|m| m.finalize(end)).collect();
+        let secs = end.as_secs_f64().max(f64::MIN_POSITIVE);
+        let lat = |q: f64| self.latencies.percentile(q).map_or(0, |d| d.as_micros());
+        let host_pages: u64 = member_reports.iter().map(|r| r.host_pages_written).sum();
+        let nand_pages: u64 = member_reports.iter().map(|r| r.nand_pages_programmed).sum();
+        ArrayReport {
+            members: self.members.len(),
+            chunk_pages: self.stripe.chunk_pages(),
+            redundancy: self.stripe.redundancy().name().to_owned(),
+            gc_mode: self.manager.mode().name().to_owned(),
+            policy: member_reports[0].policy.clone(),
+            workload: self.workload.name().to_owned(),
+            duration_secs: secs,
+            ops: self.ops,
+            iops: self.ops as f64 / secs,
+            split_requests: self.split_requests,
+            routed_reads: self.manager.routed_reads(),
+            latency_mean_us: self.latencies.mean().map_or(0, |d| d.as_micros()),
+            latency_p50_us: lat(0.50),
+            latency_p99_us: lat(0.99),
+            latency_p999_us: lat(0.999),
+            latency_max_us: self.latencies.max().map_or(0, |d| d.as_micros()),
+            waf: if host_pages == 0 {
+                1.0
+            } else {
+                nand_pages as f64 / host_pages as f64
+            },
+            nand_erases: member_reports.iter().map(|r| r.nand_erases).sum(),
+            erase_spread: WearReport::from_counts(member_reports.iter().map(|r| r.nand_erases)),
+            fgc_request_stalls: member_reports.iter().map(|r| r.fgc_request_stalls).sum(),
+            bgc_blocks: member_reports.iter().map(|r| r.bgc_blocks).sum(),
+            member_reports,
+        }
+    }
+}
+
+impl std::fmt::Debug for ArrayScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayScheduler")
+            .field("members", &self.members.len())
+            .field("stripe", &self.stripe)
+            .field("gc_mode", &self.manager.mode())
+            .field("ops", &self.ops)
+            .finish_non_exhaustive()
+    }
+}

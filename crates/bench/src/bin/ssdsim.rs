@@ -28,9 +28,24 @@
 //!   --json                 emit the full SimReport as JSON
 //!   --bench-json <path>    also write a machine-readable perf record (host
 //!                          pages simulated per wall-clock second, per-phase
-//!                          timing) for tracking simulator throughput
+//!                          timing) for tracking simulator throughput; the
+//!                          record schema is `ssdsim-bench/3` (array runs
+//!                          add an `array` section plus per-member entries)
+//!   --array <N>            simulate an N-member striped array instead of a
+//!                          single device (`--array 1` reproduces the
+//!                          single-device reports exactly); workload working
+//!                          set and arrival rate scale with the column count
+//!   --stripe-kb <K>        array stripe chunk size in KiB   (default 64)
+//!   --mirror               pair members as RAID-10 mirrors (even N); reads
+//!                          are routed to the replica that is idle and
+//!                          furthest from foreground GC
+//!   --gc-mode <staggered|unsync>
+//!                          stagger member flusher/BGC phases or leave them
+//!                          aligned                          (default staggered)
+//!   --queue-depth <N>      closed-loop application threads  (default: config)
 //! ```
 
+use jitgc_array::{ArrayConfig, ArrayReport, GcMode, Redundancy};
 use jitgc_bench::{default_threads, run_grid, PolicyKind};
 use jitgc_core::system::{ManagerPlacement, PhaseProfile, SsdSystem, SystemConfig, VictimKind};
 use jitgc_ftl::FtlConfig;
@@ -59,6 +74,11 @@ struct Args {
     dump_config: Option<String>,
     json: bool,
     bench_json: Option<String>,
+    array: Option<usize>,
+    stripe_kb: u64,
+    mirror: bool,
+    gc_mode: GcMode,
+    queue_depth: Option<u32>,
 }
 
 impl Default for Args {
@@ -82,6 +102,11 @@ impl Default for Args {
             dump_config: None,
             json: false,
             bench_json: None,
+            array: None,
+            stripe_kb: 64,
+            mirror: false,
+            gc_mode: GcMode::Staggered,
+            queue_depth: None,
         }
     }
 }
@@ -91,6 +116,8 @@ fn usage() -> ! {
     eprintln!("              [--burst F] [--seed N] [--victim V] [--no-prefill]");
     eprintln!("              [--hot-cold] [--strict-tau-flush] [--wear-leveling]");
     eprintln!("              [--in-device-manager] [--json]");
+    eprintln!("              [--array N] [--stripe-kb K] [--mirror]");
+    eprintln!("              [--gc-mode staggered|unsync] [--queue-depth N]");
     eprintln!("see the module docs (`ssdsim.rs`) for value sets");
     std::process::exit(2)
 }
@@ -175,6 +202,20 @@ fn parse_args() -> Args {
             "--dump-config" => args.dump_config = Some(value()),
             "--json" => args.json = true,
             "--bench-json" => args.bench_json = Some(value()),
+            "--array" => args.array = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--stripe-kb" => args.stripe_kb = value().parse().unwrap_or_else(|_| usage()),
+            "--mirror" => args.mirror = true,
+            "--gc-mode" => {
+                args.gc_mode = match value().as_str() {
+                    "staggered" => GcMode::Staggered,
+                    "unsync" => GcMode::Unsynchronized,
+                    other => {
+                        eprintln!("unknown gc mode: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--queue-depth" => args.queue_depth = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -206,7 +247,7 @@ fn perf_record(
     // workload generation and closed-loop scheduling).
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/2")
+        .field("schema", "ssdsim-bench/3")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.victim_policy.as_str())
@@ -239,6 +280,240 @@ fn perf_record(
         .build()
 }
 
+/// The `--bench-json` perf record of an array run (`ssdsim-bench/3`):
+/// the aggregate throughput fields of [`perf_record`] plus an `array`
+/// section and one page-count entry per member.
+fn array_perf_record(
+    args: &Args,
+    report: &ArrayReport,
+    setup_secs: f64,
+    run_secs: f64,
+    profile: &PhaseProfile,
+) -> JsonValue {
+    let wall_secs = setup_secs + run_secs;
+    let per_sec = |count: u64| -> f64 {
+        if run_secs > 0.0 {
+            count as f64 / run_secs
+        } else {
+            0.0
+        }
+    };
+    let host_pages: u64 = report
+        .member_reports
+        .iter()
+        .map(|r| r.host_pages_written)
+        .sum();
+    let nand_pages: u64 = report
+        .member_reports
+        .iter()
+        .map(|r| r.nand_pages_programmed)
+        .sum();
+    let members: Vec<JsonValue> = report
+        .member_reports
+        .iter()
+        .map(|r| {
+            ObjectBuilder::new()
+                .field("ops", r.ops)
+                .field("host_pages_written", r.host_pages_written)
+                .field("nand_pages_programmed", r.nand_pages_programmed)
+                .field("nand_erases", r.nand_erases)
+                .build()
+        })
+        .collect();
+    let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
+    ObjectBuilder::new()
+        .field("schema", "ssdsim-bench/3")
+        .field("benchmark", report.workload.as_str())
+        .field("policy", report.policy.as_str())
+        .field("victim", report.member_reports[0].victim_policy.as_str())
+        .field("seed", args.seed)
+        .field("simulated_secs", report.duration_secs)
+        .field("ops", report.ops)
+        .field("host_pages_written", host_pages)
+        .field("nand_pages_programmed", nand_pages)
+        .field("wall_secs", wall_secs)
+        .field("setup_secs", setup_secs)
+        .field("run_secs", run_secs)
+        .field("host_pages_per_wall_sec", per_sec(host_pages))
+        .field("nand_pages_per_wall_sec", per_sec(nand_pages))
+        .field("ops_per_wall_sec", per_sec(report.ops))
+        .field(
+            "phase_request_execution_secs",
+            profile.request_execution.as_secs_f64(),
+        )
+        .field("phase_flush_secs", profile.flush.as_secs_f64())
+        .field("phase_predictor_secs", profile.predictor.as_secs_f64())
+        .field("phase_bgc_secs", profile.bgc.as_secs_f64())
+        .field("phase_reporting_secs", profile.reporting.as_secs_f64())
+        .field("phase_untracked_secs", untracked)
+        .field(
+            "array",
+            ObjectBuilder::new()
+                .field("members", report.members as u64)
+                .field("chunk_pages", report.chunk_pages)
+                .field("redundancy", report.redundancy.as_str())
+                .field("gc_mode", report.gc_mode.as_str())
+                .field("split_requests", report.split_requests)
+                .field("routed_reads", report.routed_reads)
+                .build(),
+        )
+        .field("member_perf", JsonValue::Array(members))
+        .build()
+}
+
+/// Runs the `--array` path: one array simulation per requested benchmark,
+/// swept across worker threads like the single-device path.
+fn run_array(args: &Args, system: &SystemConfig, members: usize) {
+    if args.timeline.is_some() {
+        eprintln!("--timeline is not supported with --array");
+        std::process::exit(2)
+    }
+    let redundancy = if args.mirror {
+        Redundancy::Mirror
+    } else {
+        Redundancy::None
+    };
+    if redundancy == Redundancy::Mirror && (members < 2 || !members.is_multiple_of(2)) {
+        eprintln!("--mirror needs an even member count, got {members}");
+        std::process::exit(2)
+    }
+    let page_size = system.ftl.geometry().page_size().as_u64();
+    let chunk_pages = (args.stripe_kb * 1024 / page_size).max(1);
+    let columns = match redundancy {
+        Redundancy::None => members as u64,
+        Redundancy::Mirror => members as u64 / 2,
+    };
+    // Scale the single-device sizing by the column count so each member
+    // carries the load a standalone device would; with one plain member
+    // this is exactly the single-device workload and the per-device
+    // report is byte-identical to the non-array path.
+    let workload_config = WorkloadConfig::builder()
+        .working_set_pages((system.ftl.user_pages() - system.ftl.op_pages() / 2) * columns)
+        .duration(SimDuration::from_secs(args.seconds))
+        .mean_iops(args.iops * columns as f64)
+        .burst_mean(args.burst)
+        .seed(args.seed)
+        .build();
+
+    let policy = args.policy;
+    let threads = if args.benchmarks.len() == 1 {
+        1
+    } else {
+        args.threads
+    };
+    let profile_phases = args.bench_json.is_some();
+    let runs = run_grid(&args.benchmarks, threads, |&benchmark| {
+        let setup_start = Instant::now();
+        let workload = benchmark.build(workload_config);
+        let config = ArrayConfig {
+            members,
+            chunk_pages,
+            redundancy,
+            gc_mode: args.gc_mode,
+            system: system.clone(),
+        };
+        let mut sim = config.build(|cfg| policy.build(cfg), workload);
+        if profile_phases {
+            sim.enable_phase_profiling();
+        }
+        let setup_secs = setup_start.elapsed().as_secs_f64();
+        let run_start = Instant::now();
+        let report = sim.run();
+        let run_secs = run_start.elapsed().as_secs_f64();
+        (report, setup_secs, run_secs, sim.phase_profile())
+    });
+
+    if let Some(path) = &args.bench_json {
+        let records: Vec<JsonValue> = runs
+            .iter()
+            .map(|(report, setup_secs, run_secs, profile)| {
+                array_perf_record(args, report, *setup_secs, *run_secs, profile)
+            })
+            .collect();
+        let text = if records.len() == 1 {
+            records[0].to_pretty()
+        } else {
+            JsonValue::Array(records).to_pretty()
+        };
+        std::fs::write(path, text).expect("write bench JSON");
+        eprintln!("wrote perf record to {path}");
+    }
+
+    if args.json {
+        let reports: Vec<JsonValue> = runs.iter().map(|(r, _, _, _)| r.to_json()).collect();
+        let text = if reports.len() == 1 {
+            reports[0].to_pretty()
+        } else {
+            JsonValue::Array(reports).to_pretty()
+        };
+        println!("{text}");
+        return;
+    }
+
+    if args.benchmarks.len() != 1 {
+        println!(
+            "{:<12}{:>10}{:>8}{:>10}{:>10}{:>12}{:>12}",
+            "benchmark", "IOPS", "WAF", "FGC", "BGC blk", "p99 µs", "p999 µs"
+        );
+        for (report, _, _, _) in &runs {
+            println!(
+                "{:<12}{:>10.0}{:>8.3}{:>10}{:>10}{:>12}{:>12}",
+                report.workload,
+                report.iops,
+                report.waf,
+                report.fgc_request_stalls,
+                report.bgc_blocks,
+                report.latency_p99_us,
+                report.latency_p999_us
+            );
+        }
+        return;
+    }
+    let (report, _, _, _) = runs.into_iter().next().expect("one benchmark ran");
+    println!(
+        "array           {} members, {} KiB chunks, {}, {}",
+        report.members, args.stripe_kb, report.redundancy, report.gc_mode
+    );
+    println!("policy          {}", report.policy);
+    println!("workload        {}", report.workload);
+    println!("duration        {:.1} s", report.duration_secs);
+    println!("requests        {}", report.ops);
+    println!("IOPS            {:.0}", report.iops);
+    println!("split requests  {}", report.split_requests);
+    if report.redundancy == "mirror" {
+        println!("routed reads    {}", report.routed_reads);
+    }
+    println!("WAF             {:.3}", report.waf);
+    println!("erases          {}", report.nand_erases);
+    println!(
+        "erase spread    min {} / mean {:.1} / max {} (σ {:.2})",
+        report.erase_spread.min,
+        report.erase_spread.mean,
+        report.erase_spread.max,
+        report.erase_spread.std_dev
+    );
+    println!("FGC stalls      {}", report.fgc_request_stalls);
+    println!("BGC blocks      {}", report.bgc_blocks);
+    println!(
+        "latency (µs)    mean {} / p50 {} / p99 {} / p999 {} / max {}",
+        report.latency_mean_us,
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.latency_p999_us,
+        report.latency_max_us
+    );
+    for (i, member) in report.member_reports.iter().enumerate() {
+        println!(
+            "member {i:<8} {:>8} ops  WAF {:.3}  erases {}  FGC {}  p99 {} µs",
+            member.ops,
+            member.waf,
+            member.nand_erases,
+            member.fgc_request_stalls,
+            member.latency_p99_us
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -263,6 +538,13 @@ fn main() {
     system.prefill = args.prefill;
     system.strict_tau_flush = args.strict_tau_flush;
     system.wear_leveling = args.wear_leveling;
+    if let Some(qd) = args.queue_depth {
+        if qd == 0 {
+            eprintln!("--queue-depth must be at least 1");
+            std::process::exit(2)
+        }
+        system.queue_depth = qd;
+    }
     if args.in_device_manager {
         system.manager_placement = ManagerPlacement::Device;
     }
@@ -283,6 +565,15 @@ fn main() {
     if let Some(path) = &args.dump_config {
         std::fs::write(path, system.to_json().to_pretty()).expect("write config JSON");
         eprintln!("wrote effective config to {path}");
+        return;
+    }
+
+    if let Some(members) = args.array {
+        if members == 0 {
+            eprintln!("--array needs at least one member");
+            std::process::exit(2)
+        }
+        run_array(&args, &system, members);
         return;
     }
 

@@ -10,12 +10,51 @@ use jitgc_sim::stats::LatencyRecorder;
 use jitgc_sim::{ByteSize, SimDuration, SimTime};
 use jitgc_workload::{IoKind, IoRequest, Workload};
 
+/// A snapshot of one system's JIT-GC-relevant state, taken between
+/// requests.
+///
+/// This is the per-device telemetry an array-level manager needs to
+/// reason about *when* each member should reclaim relative to its peers
+/// (see the `jitgc-array` crate): the live free capacity `C_free`, the
+/// most recent predicted demands `D_buf`/`D_dir`, the policy's current
+/// reserve target, and how long the device will stay busy with already
+/// accepted work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcSignals {
+    /// `C_free`: free capacity currently available to the host.
+    pub free_capacity: ByteSize,
+    /// Upper bound on what background GC could still reclaim.
+    pub reclaimable_capacity: ByteSize,
+    /// The policy's current reserve target (what BGC works toward).
+    pub target_free: ByteSize,
+    /// Total buffered-write demand `Σ D_buf` predicted at the last poll.
+    pub predicted_buffered_bytes: u64,
+    /// Total direct-write demand `Σ D_dir` predicted at the last poll.
+    pub predicted_direct_bytes: u64,
+    /// When the device finishes its currently accepted work.
+    pub busy_until: SimTime,
+    /// Cumulative foreground-GC invocations (a rising count flags a
+    /// device that ran out of reserve).
+    pub fgc_invocations: u64,
+}
+
 /// A complete simulated storage system: one workload driving one page
 /// cache and one FTL under one background-GC policy.
 ///
 /// See the [module documentation](crate::system) for the execution model.
 /// Construction wires everything; [`run`](SsdSystem::run) consumes the
 /// workload and returns the [`SimReport`].
+///
+/// # Driving the engine externally
+///
+/// [`run`](SsdSystem::run) owns the closed-loop schedule for a standalone
+/// device. A composing layer (the `jitgc-array` crate) instead drives
+/// members through the stepping API — [`prefill`](SsdSystem::prefill),
+/// [`offset_tick_phase`](SsdSystem::offset_tick_phase),
+/// [`advance_to`](SsdSystem::advance_to), [`step`](SsdSystem::step) and
+/// [`finalize`](SsdSystem::finalize) — which execute exactly the same
+/// sequence of internal phases, so a single-member array is bit-identical
+/// to the standalone path.
 pub struct SsdSystem {
     config: SystemConfig,
     ftl: Ftl,
@@ -37,6 +76,9 @@ pub struct SsdSystem {
     next_tick: SimTime,
     /// BGC reclaims toward this free-capacity target during idle gaps.
     target_free: ByteSize,
+    /// Total predicted demands at the last poll (for [`GcSignals`]).
+    last_buffered_demand: u64,
+    last_direct_demand: u64,
 
     // Interval accounting.
     direct_bytes_interval: u64,
@@ -116,6 +158,8 @@ impl SsdSystem {
             next_thread: 0,
             next_tick,
             target_free: ByteSize::ZERO,
+            last_buffered_demand: 0,
+            last_direct_demand: 0,
             direct_bytes_interval: 0,
             host_pages_at_tick: 0,
             interval_actuals: Vec::new(),
@@ -177,16 +221,8 @@ impl SsdSystem {
             self.next_thread = (self.next_thread + 1) % self.thread_completion.len();
             let issue = self.thread_completion[thread] + req.gap;
             self.schedule = self.schedule.max(issue);
-            self.process_ticks_until(issue);
-            self.run_bgc_in_gap(issue);
-            let t0 = self.timer();
-            let completion = self.execute(req, issue);
-            if let Some(t0) = t0 {
-                self.profile.request_execution += t0.elapsed();
-            }
-            self.latencies.record(completion.saturating_since(issue));
+            let completion = self.step(req, issue);
             self.thread_completion[thread] = completion;
-            self.ops += 1;
         }
         let end = self
             .thread_completion
@@ -195,6 +231,44 @@ impl SsdSystem {
             .max()
             .unwrap_or(SimTime::ZERO)
             .max(self.schedule);
+        self.finalize(end)
+    }
+
+    /// Issues one request at simulated time `issue` and returns its
+    /// completion time. Runs the exact per-request sequence of
+    /// [`run`](SsdSystem::run): periodic host work up to `issue`,
+    /// background GC in the idle gap, then the request itself, recorded
+    /// in this system's latency and request counters.
+    ///
+    /// This is the hook an external scheduler (the array layer) uses to
+    /// advance members in virtual-time lockstep; the caller owns the
+    /// closed-loop schedule (think times, thread completion bookkeeping).
+    pub fn step(&mut self, req: IoRequest, issue: SimTime) -> SimTime {
+        self.process_ticks_until(issue);
+        self.run_bgc_in_gap(issue);
+        let t0 = self.timer();
+        let completion = self.execute(req, issue);
+        if let Some(t0) = t0 {
+            self.profile.request_execution += t0.elapsed();
+        }
+        self.latencies.record(completion.saturating_since(issue));
+        self.ops += 1;
+        completion
+    }
+
+    /// Processes periodic host work (flusher, predictors, policy) and
+    /// idle-gap background GC up to time `t` without issuing a request —
+    /// how an external scheduler lets a member's clock advance through a
+    /// stretch where no request touched it.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.process_ticks_until(t);
+        self.run_bgc_in_gap(t);
+    }
+
+    /// Builds the final report, treating `end` as the run's end time
+    /// (callers that drive the engine via [`step`](SsdSystem::step) own
+    /// the schedule and therefore know when the run ended).
+    pub fn finalize(&mut self, end: SimTime) -> SimReport {
         let t0 = self.timer();
         let report = self.build_report(end);
         if let Some(t0) = t0 {
@@ -203,12 +277,40 @@ impl SsdSystem {
         report
     }
 
+    /// Shifts the first flusher tick later by `offset`, staggering this
+    /// system's periodic host work (flush, predictor polls, policy
+    /// decisions and therefore BGC target updates) relative to peers that
+    /// keep the default phase. Call before the first request; the array
+    /// layer uses this to de-correlate member GC activity.
+    pub fn offset_tick_phase(&mut self, offset: SimDuration) {
+        assert_eq!(self.ops, 0, "tick phase must be set before any request");
+        self.next_tick += offset;
+    }
+
+    /// Current JIT-GC telemetry for array-level coordination.
+    #[must_use]
+    pub fn gc_signals(&self) -> GcSignals {
+        GcSignals {
+            free_capacity: self.ftl.free_capacity(),
+            reclaimable_capacity: self.ftl.reclaimable_capacity(),
+            target_free: self.target_free,
+            predicted_buffered_bytes: self.last_buffered_demand,
+            predicted_direct_bytes: self.last_direct_demand,
+            busy_until: self.device_busy_until,
+            fgc_invocations: self.ftl.stats().fgc_invocations,
+        }
+    }
+
     /// Ages the device: writes the whole working set once in scrambled
     /// order (a Fisher–Yates permutation, modelling how a filesystem's
     /// allocator sprays logical addresses over time), then resets every
     /// counter so measurements cover only steady state. The fill itself is
     /// free of simulated time — it stands for hours of prior use.
-    fn prefill(&mut self) {
+    ///
+    /// [`run`](SsdSystem::run) calls this itself when
+    /// [`SystemConfig::prefill`] is set; external schedulers driving the
+    /// engine via [`step`](SsdSystem::step) must call it once up front.
+    pub fn prefill(&mut self) {
         let ws = self.workload.working_set_pages();
         let mut lpns: Vec<u64> = (0..ws).collect();
         let mut rng = jitgc_sim::SimRng::seed(0xA6ED);
@@ -289,6 +391,8 @@ impl SsdSystem {
         let mut sip = std::mem::take(&mut self.sip_scratch);
         let buffered_demand = self.buffered_pred.predict_into(&self.cache, now, &mut sip);
         let direct_demand = self.direct_pred.predict();
+        self.last_buffered_demand = buffered_demand.total();
+        self.last_direct_demand = direct_demand.total();
         if let Some(t0) = t0 {
             self.profile.predictor += t0.elapsed();
         }
@@ -555,6 +659,25 @@ impl SsdSystem {
     #[must_use]
     pub fn cache(&self) -> &PageCache {
         &self.cache
+    }
+
+    /// The system's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// When the device finishes its currently accepted work.
+    #[must_use]
+    pub fn device_busy_until(&self) -> SimTime {
+        self.device_busy_until
+    }
+
+    /// The name of the workload driving (or, under an external scheduler,
+    /// labelling) this system.
+    #[must_use]
+    pub fn workload_name(&self) -> &'static str {
+        self.workload.name()
     }
 
     /// The installed policy's name.

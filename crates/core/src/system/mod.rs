@@ -18,6 +18,6 @@ mod profile;
 mod report;
 
 pub use config::{ManagerPlacement, SystemConfig, VictimKind};
-pub use engine::SsdSystem;
+pub use engine::{GcSignals, SsdSystem};
 pub use profile::PhaseProfile;
 pub use report::{IntervalSample, SimReport};

@@ -6,11 +6,14 @@ use jitgc_sim::ByteSize;
 /// The physical shape of a NAND device.
 ///
 /// The simulator addresses pages with a flat [`Ppn`] space in block-major
-/// order; `Geometry` provides the conversions and derived capacities. The
-/// channel/chip hierarchy of a real SSD is collapsed into the
-/// [`NandTiming`](crate::NandTiming) parallelism factor — policy comparisons
-/// are invariant to the constant-factor speedup of striping, and a flat
-/// space keeps the FTL exactly reproducible.
+/// order; `Geometry` provides the conversions and derived capacities.
+/// Intra-device parallelism (the channel/chip hierarchy of a real SSD) is
+/// folded into the [`NandTiming`](crate::NandTiming) parallelism factor —
+/// policy comparisons are invariant to that constant-factor speedup, and a
+/// flat space keeps the FTL exactly reproducible. *Inter*-device
+/// parallelism is modelled explicitly one layer up: `jitgc-array` stripes
+/// a logical volume over N whole devices, each with its own flat
+/// geometry, and coordinates their GC (see DESIGN.md §9).
 ///
 /// # Example
 ///

@@ -39,6 +39,7 @@ mod benchmark;
 mod config;
 mod measure;
 mod request;
+mod stub;
 mod trace;
 
 mod generators;
@@ -51,7 +52,11 @@ pub use generators::{
 };
 pub use measure::{measure_write_mix, MeasuredMix};
 pub use request::{IoKind, IoRequest, WriteMix};
-pub use trace::{parse_msr_trace, record_trace, ParseTraceError, TraceRecord, TraceWorkload};
+pub use stub::NullWorkload;
+pub use trace::{
+    demux_trace, merge_traces, parse_msr_trace, record_trace, ParseTraceError, TraceRecord,
+    TraceWorkload,
+};
 
 use jitgc_nand::Lpn;
 

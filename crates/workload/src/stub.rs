@@ -1,0 +1,90 @@
+//! A request-less workload stub.
+
+use crate::{IoRequest, Workload, WriteMix};
+
+/// A [`Workload`] that never yields a request but still reports a fixed
+/// personality (name, working set, write mix).
+///
+/// The array layer drives each member [`SsdSystem`] through the engine's
+/// stepping API, routing it sub-requests split off a single array-level
+/// workload — so the member's own workload exists only to label the run
+/// and to size the member's logical space for aging/prefill. A
+/// single-member array built from the same benchmark therefore reports
+/// the same workload name and prefills the same working set as the
+/// standalone path.
+///
+/// [`SsdSystem`]: https://docs.rs/jitgc-core
+///
+/// # Example
+///
+/// ```
+/// use jitgc_workload::{NullWorkload, Workload, WriteMix};
+///
+/// let mut stub = NullWorkload::new("YCSB", 4096, WriteMix::new(0.9));
+/// assert_eq!(stub.name(), "YCSB");
+/// assert_eq!(stub.working_set_pages(), 4096);
+/// assert_eq!(stub.next_request(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NullWorkload {
+    name: &'static str,
+    working_set_pages: u64,
+    mix: WriteMix,
+}
+
+impl NullWorkload {
+    /// Creates a stub reporting the given personality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set_pages` is zero — a device cannot be sized
+    /// for an empty logical space.
+    #[must_use]
+    pub fn new(name: &'static str, working_set_pages: u64, mix: WriteMix) -> Self {
+        assert!(working_set_pages > 0, "working set must be non-empty");
+        NullWorkload {
+            name,
+            working_set_pages,
+            mix,
+        }
+    }
+}
+
+impl Workload for NullWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_request(&mut self) -> Option<IoRequest> {
+        None
+    }
+
+    fn write_mix(&self) -> WriteMix {
+        self.mix
+    }
+
+    fn working_set_pages(&self) -> u64 {
+        self.working_set_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_nothing_but_reports_personality() {
+        let mut w = NullWorkload::new("stub", 128, WriteMix::new(0.5));
+        assert_eq!(w.next_request(), None);
+        assert_eq!(w.next_request(), None, "stays exhausted");
+        assert_eq!(w.name(), "stub");
+        assert_eq!(w.working_set_pages(), 128);
+        assert!((w.write_mix().buffered_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "working set must be non-empty")]
+    fn rejects_empty_working_set() {
+        let _ = NullWorkload::new("stub", 0, WriteMix::new(1.0));
+    }
+}
