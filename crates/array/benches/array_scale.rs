@@ -86,7 +86,9 @@ fn main() {
         ));
         waf_rows.push((
             benchmark.name().to_owned(),
-            reports.iter().map(|r| r.waf).collect(),
+            // These cells always see host writes; a `None` WAF here would
+            // mean the sweep itself is broken, so surface it as NaN-free 0.
+            reports.iter().map(|r| r.waf.unwrap_or(0.0)).collect(),
         ));
     }
 

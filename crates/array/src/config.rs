@@ -69,9 +69,25 @@ impl ArrayConfig {
                 self.system.ftl.user_pages()
             );
             let stub = NullWorkload::new(name, share, mix);
+            let mut system = self.system.clone();
+            // Give every member its own fault stream: identical seeds
+            // would wear all replicas out in lockstep, defeating the
+            // mirror (correlated failures are exactly what real arrays
+            // avoid by mixing drive batches). Member 0 keeps the
+            // configured seed so a 1-member array stays byte-identical to
+            // the standalone engine.
+            if device > 0 {
+                if let Some(fault) = system.ftl.fault().copied() {
+                    let mut f = fault;
+                    f.seed = fault
+                        .seed
+                        .wrapping_add((device as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    system.ftl = system.ftl.to_builder().fault(f).build();
+                }
+            }
             members.push(SsdSystem::new(
-                self.system.clone(),
-                policy(&self.system),
+                system.clone(),
+                policy(&system),
                 Box::new(stub),
             ));
         }

@@ -66,6 +66,6 @@ mod stripe;
 
 pub use config::ArrayConfig;
 pub use manager::{ArrayManager, GcMode};
-pub use report::ArrayReport;
+pub use report::{ArrayDegraded, ArrayReport};
 pub use scheduler::ArrayScheduler;
 pub use stripe::{Redundancy, StripeExtent, StripeMap};

@@ -50,8 +50,11 @@ pub struct ArrayReport {
     pub latency_max_us: u64,
 
     /// Array-level Write Amplification Factor:
-    /// Σ member NAND programs / Σ member host writes.
-    pub waf: f64,
+    /// Σ member NAND programs / Σ member host writes. `None` (JSON
+    /// `null`) when the run produced zero host writes — a read-only
+    /// workload has no meaningful WAF, and `0/0` must not leak out as
+    /// `NaN` (which the JSON format cannot even represent).
+    pub waf: Option<f64>,
     /// Total NAND block erases across all members.
     pub nand_erases: u64,
     /// Spread of *per-member* total erase counts — the array-level
@@ -67,6 +70,37 @@ pub struct ArrayReport {
 
     /// The untouched per-member reports.
     pub member_reports: Vec<SimReport>,
+    /// End-of-life section; `None` while every member is healthy (and
+    /// then absent from the JSON, keeping fault-free output
+    /// byte-identical with pre-fault-model builds).
+    pub degraded: Option<ArrayDegraded>,
+}
+
+/// Array-level end-of-life summary: how member wear-out surfaced at the
+/// volume level. Per-member detail lives in each member report's own
+/// `degraded` section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayDegraded {
+    /// Members that have gone read-only.
+    pub degraded_members: u64,
+    /// Pages whose primary read was uncorrectable but which a mirror
+    /// replica served successfully.
+    pub recovered_pages: u64,
+    /// Pages unreadable on every replica that holds them — actual data
+    /// loss.
+    pub lost_pages: u64,
+}
+
+impl ArrayDegraded {
+    /// Serializes the end-of-life section.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("degraded_members", self.degraded_members)
+            .field("recovered_pages", self.recovered_pages)
+            .field("lost_pages", self.lost_pages)
+            .build()
+    }
 }
 
 impl ArrayReport {
@@ -75,7 +109,7 @@ impl ArrayReport {
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         let members: Vec<JsonValue> = self.member_reports.iter().map(SimReport::to_json).collect();
-        ObjectBuilder::new()
+        let mut b = ObjectBuilder::new()
             .field("members", self.members as u64)
             .field("chunk_pages", self.chunk_pages)
             .field("redundancy", self.redundancy.as_str())
@@ -97,7 +131,10 @@ impl ArrayReport {
             .field("erase_spread", self.erase_spread.to_json())
             .field("fgc_request_stalls", self.fgc_request_stalls)
             .field("bgc_blocks", self.bgc_blocks)
-            .field("member_reports", JsonValue::Array(members))
-            .build()
+            .field("member_reports", JsonValue::Array(members));
+        if let Some(degraded) = &self.degraded {
+            b = b.field("degraded", degraded.to_json());
+        }
+        b.build()
     }
 }

@@ -1,6 +1,6 @@
 //! The array's closed-loop request engine.
 
-use crate::{ArrayManager, ArrayReport, GcMode, StripeExtent, StripeMap};
+use crate::{ArrayDegraded, ArrayManager, ArrayReport, GcMode, StripeExtent, StripeMap};
 use jitgc_core::system::{GcSignals, SsdSystem};
 use jitgc_nand::{Lpn, WearReport};
 use jitgc_sim::stats::LatencyRecorder;
@@ -38,9 +38,15 @@ pub struct ArrayScheduler {
     latencies: LatencyRecorder,
     ops: u64,
     split_requests: u64,
+    /// Pages repaired by re-reading the mirror after an uncorrectable
+    /// primary read.
+    recovered_pages: u64,
+    /// Pages unreadable on every replica that holds them.
+    lost_pages: u64,
 
     // Scratch reused across requests so the steady state allocates nothing.
     sub_scratch: Vec<StripeExtent>,
+    retry_scratch: Vec<Lpn>,
 }
 
 impl ArrayScheduler {
@@ -77,7 +83,10 @@ impl ArrayScheduler {
             latencies: LatencyRecorder::new(),
             ops: 0,
             split_requests: 0,
+            recovered_pages: 0,
+            lost_pages: 0,
             sub_scratch: Vec::new(),
+            retry_scratch: Vec::new(),
         }
     }
 
@@ -189,7 +198,28 @@ impl ArrayScheduler {
                     let device =
                         self.manager
                             .choose_replica(primary, replica, &self.members, issue);
-                    completion = completion.max(self.members[device].step(sub, issue));
+                    let mut done = self.members[device].step(sub, issue);
+                    if !self.members[device].failed_read_lpns().is_empty() {
+                        // Uncorrectable pages on the chosen replica: repair
+                        // by re-reading the surviving copy. Only pages that
+                        // fail on *both* replicas are lost.
+                        self.retry_scratch.clear();
+                        self.retry_scratch
+                            .extend_from_slice(self.members[device].failed_read_lpns());
+                        let other = if device == primary { replica } else { primary };
+                        let (repaired_at, still_failed) =
+                            self.members[other].recovery_read(&self.retry_scratch, issue);
+                        done = done.max(repaired_at);
+                        self.recovered_pages += self.retry_scratch.len() as u64 - still_failed;
+                        self.lost_pages += still_failed;
+                    }
+                    completion = completion.max(done);
+                }
+                (IoKind::Read, None) => {
+                    let done = self.members[primary].step(sub, issue);
+                    // No redundancy: every uncorrectable page is lost.
+                    self.lost_pages += self.members[primary].failed_read_lpns().len() as u64;
+                    completion = completion.max(done);
                 }
                 (_, Some(replica)) => {
                     // Writes and trims must keep the replicas coherent.
@@ -227,15 +257,24 @@ impl ArrayScheduler {
             latency_p99_us: lat(0.99),
             latency_p999_us: lat(0.999),
             latency_max_us: self.latencies.max().map_or(0, |d| d.as_micros()),
-            waf: if host_pages == 0 {
-                1.0
-            } else {
-                nand_pages as f64 / host_pages as f64
-            },
+            waf: (host_pages > 0).then(|| nand_pages as f64 / host_pages as f64),
             nand_erases: member_reports.iter().map(|r| r.nand_erases).sum(),
             erase_spread: WearReport::from_counts(member_reports.iter().map(|r| r.nand_erases)),
             fgc_request_stalls: member_reports.iter().map(|r| r.fgc_request_stalls).sum(),
             bgc_blocks: member_reports.iter().map(|r| r.bgc_blocks).sum(),
+            degraded: {
+                let any_member_degraded = member_reports.iter().any(|r| r.degraded.is_some());
+                (any_member_degraded || self.recovered_pages > 0 || self.lost_pages > 0).then(
+                    || ArrayDegraded {
+                        degraded_members: member_reports
+                            .iter()
+                            .filter(|r| r.degraded.as_ref().is_some_and(|d| d.read_only))
+                            .count() as u64,
+                        recovered_pages: self.recovered_pages,
+                        lost_pages: self.lost_pages,
+                    },
+                )
+            },
             member_reports,
         }
     }

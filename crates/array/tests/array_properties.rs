@@ -106,11 +106,10 @@ fn aggregates_equal_member_sums() {
         .sum();
     assert!(host > 0, "no host writes reached the members");
     let expected_waf = nand as f64 / host as f64;
+    let waf = report.waf.expect("WAF defined once host writes happened");
     assert!(
-        (report.waf - expected_waf).abs() < 1e-12,
-        "aggregate WAF {} != {}",
-        report.waf,
-        expected_waf
+        (waf - expected_waf).abs() < 1e-12,
+        "aggregate WAF {waf} != {expected_waf}"
     );
 
     // Page conservation: the members saw at least one sub-request per

@@ -21,6 +21,18 @@
 //!   --strict-tau-flush     strict predictor variant
 //!   --wear-leveling        enable static wear leveling
 //!   --in-device-manager    paper Fig. 3(a) placement (no SG_IO cost)
+//!   --endurance <N>        per-block erase endurance limit; worn-out
+//!                          blocks are retired and the device eventually
+//!                          degrades to read-only     (default: unlimited)
+//!   --fault-seed <N>       RNG seed of the wear-fault injector (default 1)
+//!   --fault-program <F>    program-failure rate coefficient; the per-op
+//!                          probability is F × erase_count / wear_scale
+//!                                                           (default 0)
+//!   --fault-erase <F>      erase-failure rate coefficient   (default 0)
+//!   --fault-read <F>       uncorrectable-read rate coefficient (default 0)
+//!                          (all three at 0 ⇒ no fault model is installed
+//!                          and every report is byte-identical to a build
+//!                          without fault injection)
 //!   --timeline <path>      write a per-interval CSV time series
 //!   --config <path>        load a full SystemConfig from JSON (flags that
 //!                          modify the system still apply on top)
@@ -29,7 +41,7 @@
 //!   --bench-json <path>    also write a machine-readable perf record (host
 //!                          pages simulated per wall-clock second, per-phase
 //!                          timing) for tracking simulator throughput; the
-//!                          record schema is `ssdsim-bench/3` (array runs
+//!                          record schema is `ssdsim-bench/4` (array runs
 //!                          add an `array` section plus per-member entries)
 //!   --array <N>            simulate an N-member striped array instead of a
 //!                          single device (`--array 1` reproduces the
@@ -48,7 +60,7 @@
 use jitgc_array::{ArrayConfig, ArrayReport, GcMode, Redundancy};
 use jitgc_bench::{default_threads, run_grid, PolicyKind};
 use jitgc_core::system::{ManagerPlacement, PhaseProfile, SsdSystem, SystemConfig, VictimKind};
-use jitgc_ftl::FtlConfig;
+use jitgc_nand::FaultConfig;
 use jitgc_sim::json::{JsonValue, ObjectBuilder};
 use jitgc_sim::SimDuration;
 use jitgc_workload::{BenchmarkKind, WorkloadConfig};
@@ -69,6 +81,11 @@ struct Args {
     strict_tau_flush: bool,
     wear_leveling: bool,
     in_device_manager: bool,
+    endurance: Option<u64>,
+    fault_seed: u64,
+    fault_program: f64,
+    fault_erase: f64,
+    fault_read: f64,
     timeline: Option<String>,
     config: Option<String>,
     dump_config: Option<String>,
@@ -97,6 +114,11 @@ impl Default for Args {
             strict_tau_flush: false,
             wear_leveling: false,
             in_device_manager: false,
+            endurance: None,
+            fault_seed: 1,
+            fault_program: 0.0,
+            fault_erase: 0.0,
+            fault_read: 0.0,
             timeline: None,
             config: None,
             dump_config: None,
@@ -111,11 +133,18 @@ impl Default for Args {
     }
 }
 
+/// Array WAF is undefined (JSON `null`) on a run with zero host writes.
+fn fmt_waf(waf: Option<f64>) -> String {
+    waf.map_or_else(|| "n/a".to_owned(), |w| format!("{w:.3}"))
+}
+
 fn usage() -> ! {
     eprintln!("usage: ssdsim [--benchmark B] [--policy P] [--seconds N] [--iops F]");
     eprintln!("              [--burst F] [--seed N] [--victim V] [--no-prefill]");
     eprintln!("              [--hot-cold] [--strict-tau-flush] [--wear-leveling]");
     eprintln!("              [--in-device-manager] [--json]");
+    eprintln!("              [--endurance N] [--fault-seed N] [--fault-program F]");
+    eprintln!("              [--fault-erase F] [--fault-read F]");
     eprintln!("              [--array N] [--stripe-kb K] [--mirror]");
     eprintln!("              [--gc-mode staggered|unsync] [--queue-depth N]");
     eprintln!("see the module docs (`ssdsim.rs`) for value sets");
@@ -197,6 +226,11 @@ fn parse_args() -> Args {
             "--strict-tau-flush" => args.strict_tau_flush = true,
             "--wear-leveling" => args.wear_leveling = true,
             "--in-device-manager" => args.in_device_manager = true,
+            "--endurance" => args.endurance = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--fault-seed" => args.fault_seed = value().parse().unwrap_or_else(|_| usage()),
+            "--fault-program" => args.fault_program = value().parse().unwrap_or_else(|_| usage()),
+            "--fault-erase" => args.fault_erase = value().parse().unwrap_or_else(|_| usage()),
+            "--fault-read" => args.fault_read = value().parse().unwrap_or_else(|_| usage()),
             "--timeline" => args.timeline = Some(value()),
             "--config" => args.config = Some(value()),
             "--dump-config" => args.dump_config = Some(value()),
@@ -247,7 +281,7 @@ fn perf_record(
     // workload generation and closed-loop scheduling).
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/3")
+        .field("schema", "ssdsim-bench/4")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.victim_policy.as_str())
@@ -268,6 +302,20 @@ fn perf_record(
             per_sec(report.nand_pages_programmed),
         )
         .field("ops_per_wall_sec", per_sec(report.ops))
+        // Schema 4: end-of-life outcome of the run (all-healthy runs
+        // report false / null so dashboards need no special-casing).
+        .field(
+            "read_only",
+            report.degraded.as_ref().is_some_and(|d| d.read_only),
+        )
+        .field(
+            "lifetime_host_bytes",
+            report.degraded.as_ref().and_then(|d| d.lifetime_host_bytes),
+        )
+        .field(
+            "retired_blocks",
+            report.degraded.as_ref().map_or(0, |d| d.retired_blocks),
+        )
         .field(
             "phase_request_execution_secs",
             profile.request_execution.as_secs_f64(),
@@ -280,7 +328,7 @@ fn perf_record(
         .build()
 }
 
-/// The `--bench-json` perf record of an array run (`ssdsim-bench/3`):
+/// The `--bench-json` perf record of an array run (`ssdsim-bench/4`):
 /// the aggregate throughput fields of [`perf_record`] plus an `array`
 /// section and one page-count entry per member.
 fn array_perf_record(
@@ -322,7 +370,7 @@ fn array_perf_record(
         .collect();
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/3")
+        .field("schema", "ssdsim-bench/4")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.member_reports[0].victim_policy.as_str())
@@ -337,6 +385,19 @@ fn array_perf_record(
         .field("host_pages_per_wall_sec", per_sec(host_pages))
         .field("nand_pages_per_wall_sec", per_sec(nand_pages))
         .field("ops_per_wall_sec", per_sec(report.ops))
+        // Schema 4: volume-level end-of-life outcome.
+        .field(
+            "degraded_members",
+            report.degraded.as_ref().map_or(0, |d| d.degraded_members),
+        )
+        .field(
+            "recovered_pages",
+            report.degraded.as_ref().map_or(0, |d| d.recovered_pages),
+        )
+        .field(
+            "lost_pages",
+            report.degraded.as_ref().map_or(0, |d| d.lost_pages),
+        )
         .field(
             "phase_request_execution_secs",
             profile.request_execution.as_secs_f64(),
@@ -457,10 +518,10 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         );
         for (report, _, _, _) in &runs {
             println!(
-                "{:<12}{:>10.0}{:>8.3}{:>10}{:>10}{:>12}{:>12}",
+                "{:<12}{:>10.0}{:>8}{:>10}{:>10}{:>12}{:>12}",
                 report.workload,
                 report.iops,
-                report.waf,
+                fmt_waf(report.waf),
                 report.fgc_request_stalls,
                 report.bgc_blocks,
                 report.latency_p99_us,
@@ -483,7 +544,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     if report.redundancy == "mirror" {
         println!("routed reads    {}", report.routed_reads);
     }
-    println!("WAF             {:.3}", report.waf);
+    println!("WAF             {}", fmt_waf(report.waf));
     println!("erases          {}", report.nand_erases);
     println!(
         "erase spread    min {} / mean {:.1} / max {} (σ {:.2})",
@@ -502,6 +563,12 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         report.latency_p999_us,
         report.latency_max_us
     );
+    if let Some(d) = &report.degraded {
+        println!(
+            "degraded        {} read-only members / {} pages recovered / {} pages lost",
+            d.degraded_members, d.recovered_pages, d.lost_pages
+        );
+    }
     for (i, member) in report.member_reports.iter().enumerate() {
         println!(
             "member {i:<8} {:>8} ops  WAF {:.3}  erases {}  FGC {}  p99 {} µs",
@@ -552,13 +619,28 @@ fn main() {
         system.record_timeline = true;
     }
     if args.hot_cold {
-        system.ftl = FtlConfig::builder()
-            .user_pages(system.ftl.user_pages())
-            .op_permille(system.ftl.op_permille())
-            .pages_per_block(system.ftl.geometry().pages_per_block())
-            .page_size_bytes(system.ftl.geometry().page_size().as_u64())
-            .gc_reserve_blocks(system.ftl.gc_reserve_blocks())
+        // Rebuild from the existing config so every other setting (SIP
+        // threshold, timing, endurance, …) survives the flag.
+        system.ftl = system
+            .ftl
+            .to_builder()
             .hot_cold_streams(SimDuration::from_secs(5))
+            .build();
+    }
+    if let Some(limit) = args.endurance {
+        system.ftl = system.ftl.to_builder().endurance_limit(limit).build();
+    }
+    if args.fault_program > 0.0 || args.fault_erase > 0.0 || args.fault_read > 0.0 {
+        system.ftl = system
+            .ftl
+            .to_builder()
+            .fault(FaultConfig {
+                seed: args.fault_seed,
+                program_rate: args.fault_program,
+                erase_rate: args.fault_erase,
+                read_rate: args.fault_read,
+                ..FaultConfig::default()
+            })
             .build();
     }
 
@@ -718,5 +800,17 @@ fn main() {
     }
     if let Some(hit) = report.cache_hit_ratio {
         println!("cache hits      {:.1} %", hit * 100.0);
+    }
+    if let Some(d) = &report.degraded {
+        println!(
+            "degraded        read-only {} / retired {} blocks / {} program retries / {} read failures",
+            d.read_only,
+            d.retired_blocks,
+            d.program_retries,
+            d.gc_read_failures + d.host_read_failures
+        );
+        if let (Some(at), Some(bytes)) = (d.read_only_at_secs, d.lifetime_host_bytes) {
+            println!("lifetime        {bytes} host bytes accepted before read-only at {at:.1} s");
+        }
     }
 }

@@ -3,7 +3,7 @@
 use crate::policy::{GcPolicy, IntervalObservation};
 use crate::predictor::{AccuracyTracker, BufferedWritePredictor, DirectWritePredictor};
 use crate::system::{PhaseProfile, SimReport, SystemConfig};
-use jitgc_ftl::{Ftl, SipList};
+use jitgc_ftl::{DegradeKind, Ftl, FtlError, SipList};
 use jitgc_nand::Lpn;
 use jitgc_pagecache::PageCache;
 use jitgc_sim::stats::LatencyRecorder;
@@ -100,6 +100,20 @@ pub struct SsdSystem {
     throttled_requests: u64,
     timeline: Vec<crate::system::IntervalSample>,
 
+    // End-of-life bookkeeping (see the fault model in `jitgc-nand`).
+    /// When the FTL's read-only transition was first observed.
+    read_only_at: Option<SimTime>,
+    /// Host pages the device had accepted (post-prefill) at that moment —
+    /// the numerator of the lifetime metric.
+    lifetime_host_pages: u64,
+    /// Host requests refused because the device is read-only.
+    rejected_requests: u64,
+    /// LPNs of the current request whose flash read came back
+    /// uncorrectable; cleared at the start of every request, so after
+    /// [`step`](Self::step) it describes exactly that request (the array
+    /// layer repairs these from the mirror replica).
+    failed_reads: Vec<Lpn>,
+
     // Scratch storage reused across polls and requests so the steady
     // state allocates nothing: the SIP list ping-pongs between the
     // predictor and the FTL, and batched LPNs are staged in one vector.
@@ -173,6 +187,10 @@ impl SsdSystem {
             fgc_flush_stalls: 0,
             throttled_requests: 0,
             timeline: Vec::new(),
+            read_only_at: None,
+            lifetime_host_pages: 0,
+            rejected_requests: 0,
+            failed_reads: Vec::new(),
             sip_scratch: SipList::new(),
             lpn_scratch: Vec::new(),
             profile_enabled: false,
@@ -345,17 +363,23 @@ impl SsdSystem {
         let t0 = self.timer();
         let batch = self.cache.flusher_tick(now);
         if !batch.lpns.is_empty() {
-            let out = self
-                .ftl
-                .flush_batch(&batch.lpns, now)
-                .expect("flush target within user space");
-            if out.fgc_writes > 0 {
-                self.fgc_flush_stalls += 1;
+            match self.ftl.flush_batch(&batch.lpns, now) {
+                Ok(out) => {
+                    if out.fgc_writes > 0 {
+                        self.fgc_flush_stalls += 1;
+                    }
+                    let start = now.max(self.device_busy_until);
+                    self.device_busy_until = start + out.duration;
+                    let bytes = self.page_size() * batch.lpns.len() as u64;
+                    self.policy.observe_write(bytes, out.duration);
+                }
+                // End of life: the device stopped accepting writes
+                // mid-batch. The remaining dirty data has nowhere to go —
+                // it is lost, exactly as on a real drive that dies with a
+                // dirty page cache.
+                Err(FtlError::ReadOnly) => self.note_read_only(now),
+                Err(e) => panic!("flush target within user space: {e}"),
             }
-            let start = now.max(self.device_busy_until);
-            self.device_busy_until = start + out.duration;
-            let bytes = self.page_size() * batch.lpns.len() as u64;
-            self.policy.observe_write(bytes, out.duration);
         }
         if let Some(t0) = t0 {
             self.profile.flush += t0.elapsed();
@@ -452,14 +476,58 @@ impl SsdSystem {
             });
         }
 
-        // 7. Optional static wear leveling (extension).
-        if self.config.wear_leveling {
-            let out = self.ftl.wear_level(now).expect("wear leveling");
-            if out.performed {
-                let start = now.max(self.device_busy_until);
-                self.device_busy_until = start + out.duration;
+        // 7. Optional static wear leveling (extension). A device at the
+        //    end of its life has nothing left to level — and relocation
+        //    itself can fail for lack of a spare block.
+        if self.config.wear_leveling && !self.ftl.read_only() {
+            match self.ftl.wear_level(now) {
+                Ok(out) => {
+                    if out.performed {
+                        let start = now.max(self.device_busy_until);
+                        self.device_busy_until = start + out.duration;
+                    }
+                }
+                Err(FtlError::NoReclaimableSpace | FtlError::ReadOnly) => {
+                    // Leveling is best-effort; skip the pass.
+                }
+                Err(e) => panic!("wear leveling: {e}"),
             }
         }
+    }
+
+    /// Records the first observation of the device's read-only transition
+    /// and freezes the lifetime metric: host pages accepted since the end
+    /// of pre-fill ([`prefill`](Self::prefill) resets the counters, so
+    /// aging writes never count as lifetime).
+    fn note_read_only(&mut self, now: SimTime) {
+        if self.read_only_at.is_none() {
+            self.read_only_at = Some(now);
+            self.lifetime_host_pages = self.ftl.stats().host_pages_written;
+        }
+    }
+
+    /// Tallies a host request refused because the device is read-only.
+    fn reject_request(&mut self, now: SimTime) {
+        self.note_read_only(now);
+        self.rejected_requests += 1;
+    }
+
+    /// Mirror-repair read path: the array layer re-reads LPNs whose copy
+    /// on the peer replica came back uncorrectable. Bypasses the page
+    /// cache (the data demonstrably was not there) and returns the
+    /// completion time plus how many pages failed on *this* replica too —
+    /// those are lost for good.
+    pub fn recovery_read(&mut self, lpns: &[Lpn], issue: SimTime) -> (SimTime, u64) {
+        let out = self
+            .ftl
+            .host_read_batch(lpns, issue)
+            .expect("recovery stays within user space");
+        if out.duration.is_zero() {
+            return (issue, out.failed);
+        }
+        let start = issue.max(self.device_busy_until);
+        self.device_busy_until = start + out.duration;
+        (start + out.duration, out.failed)
     }
 
     /// Lets background GC consume device idle time in `[busy_until, t)`,
@@ -499,6 +567,7 @@ impl SsdSystem {
     // ------------------------------------------------------------------
 
     fn execute(&mut self, req: IoRequest, issue: SimTime) -> SimTime {
+        self.failed_reads.clear();
         let mut host_time = SimDuration::ZERO;
         let mut device_time = SimDuration::ZERO;
         match req.kind {
@@ -522,6 +591,10 @@ impl SsdSystem {
                     // Never-written data reads back as zeros without
                     // touching the device.
                     host_time += self.config.cache_op_time.saturating_mul(out.unmapped);
+                    if out.failed > 0 {
+                        self.failed_reads
+                            .extend_from_slice(self.ftl.failed_read_lpns());
+                    }
                 }
                 self.lpn_scratch = misses;
             }
@@ -538,14 +611,17 @@ impl SsdSystem {
                     writebacks.extend(effect.forced_writebacks);
                 }
                 if !writebacks.is_empty() {
-                    let out = self
-                        .ftl
-                        .host_write_batch(&writebacks, issue)
-                        .expect("cache holds user-space pages");
-                    device_time += out.duration;
-                    // Every forced write-back that hit foreground GC is
-                    // its own stall, exactly as in the per-page loop.
-                    self.fgc_request_stalls += out.fgc_writes;
+                    match self.ftl.host_write_batch(&writebacks, issue) {
+                        Ok(out) => {
+                            device_time += out.duration;
+                            // Every forced write-back that hit foreground GC
+                            // is its own stall, exactly as in the per-page
+                            // loop.
+                            self.fgc_request_stalls += out.fgc_writes;
+                        }
+                        Err(FtlError::ReadOnly) => self.reject_request(issue),
+                        Err(e) => panic!("cache holds user-space pages: {e}"),
+                    }
                 }
                 self.lpn_scratch = writebacks;
                 // Linux dirty throttling: past the hard dirty ratio this
@@ -555,12 +631,14 @@ impl SsdSystem {
                 let throttled = self.cache.throttle_excess();
                 if !throttled.is_empty() {
                     self.throttled_requests += 1;
-                    let out = self
-                        .ftl
-                        .host_write_batch(&throttled, issue)
-                        .expect("cache holds user-space pages");
-                    device_time += out.duration;
-                    self.fgc_request_stalls += u64::from(out.fgc_writes > 0);
+                    match self.ftl.host_write_batch(&throttled, issue) {
+                        Ok(out) => {
+                            device_time += out.duration;
+                            self.fgc_request_stalls += u64::from(out.fgc_writes > 0);
+                        }
+                        Err(FtlError::ReadOnly) => self.reject_request(issue),
+                        Err(e) => panic!("cache holds user-space pages: {e}"),
+                    }
                 }
             }
             IoKind::DirectWrite => {
@@ -568,29 +646,36 @@ impl SsdSystem {
                 let mut lpns = std::mem::take(&mut self.lpn_scratch);
                 lpns.clear();
                 lpns.extend(req.lpns());
-                let out = self
-                    .ftl
-                    .host_write_batch(&lpns, issue)
-                    .expect("workload stays within user space");
-                device_time += out.duration;
-                self.fgc_request_stalls += u64::from(out.fgc_writes > 0);
-                for &lpn in &lpns {
-                    // A direct write supersedes any cached copy; drop it so
-                    // a stale flush cannot overwrite the new data.
-                    self.cache.invalidate(lpn);
+                match self.ftl.host_write_batch(&lpns, issue) {
+                    Ok(out) => {
+                        device_time += out.duration;
+                        self.fgc_request_stalls += u64::from(out.fgc_writes > 0);
+                        for &lpn in &lpns {
+                            // A direct write supersedes any cached copy;
+                            // drop it so a stale flush cannot overwrite the
+                            // new data.
+                            self.cache.invalidate(lpn);
+                        }
+                        let bytes = self.page_size() * u64::from(req.pages);
+                        self.direct_bytes_interval += bytes.as_u64();
+                        self.policy.observe_write(bytes, device_time);
+                    }
+                    Err(FtlError::ReadOnly) => self.reject_request(issue),
+                    Err(e) => panic!("workload stays within user space: {e}"),
                 }
                 self.lpn_scratch = lpns;
-                let bytes = self.page_size() * u64::from(req.pages);
-                self.direct_bytes_interval += bytes.as_u64();
-                self.policy.observe_write(bytes, device_time);
             }
             IoKind::Trim => {
                 self.trims += 1;
                 for lpn in req.lpns() {
-                    self.ftl
-                        .trim(lpn, issue)
-                        .expect("workload stays within user space");
-                    host_time += self.config.cache_op_time;
+                    match self.ftl.trim(lpn, issue) {
+                        Ok(()) => host_time += self.config.cache_op_time,
+                        Err(FtlError::ReadOnly) => {
+                            self.reject_request(issue);
+                            break;
+                        }
+                        Err(e) => panic!("workload stays within user space: {e}"),
+                    }
                 }
             }
         }
@@ -646,13 +731,69 @@ impl SsdSystem {
             host_pages_written: stats.host_pages_written,
             nand_pages_programmed: self.ftl.device().stats().programs,
             timeline: self.timeline.clone(),
+            degraded: self.degraded_report(),
         }
+    }
+
+    /// Builds the end-of-life section, or `None` for a healthy run —
+    /// omitting the section keeps fault-free reports byte-identical with
+    /// builds that predate the fault model.
+    fn degraded_report(&self) -> Option<crate::system::DegradedReport> {
+        let stats = self.ftl.stats();
+        let device = self.ftl.device().stats();
+        let events = self.ftl.degrade_events();
+        let healthy = events.is_empty()
+            && !self.ftl.read_only()
+            && stats.program_retries == 0
+            && stats.gc_read_failures == 0
+            && stats.host_read_failures == 0
+            && device.read_failures == 0;
+        if healthy {
+            return None;
+        }
+        let page_bytes = self.page_size().as_u64();
+        Some(crate::system::DegradedReport {
+            read_only: self.ftl.read_only(),
+            read_only_at_secs: self.read_only_at.map(SimTime::as_secs_f64),
+            lifetime_host_bytes: self
+                .read_only_at
+                .map(|_| self.lifetime_host_pages * page_bytes),
+            retired_blocks: self.ftl.retired_blocks(),
+            retired_pages: self.ftl.retired_pages(),
+            program_retries: stats.program_retries,
+            gc_read_failures: stats.gc_read_failures,
+            host_read_failures: stats.host_read_failures,
+            rejected_requests: self.rejected_requests,
+            events: events
+                .iter()
+                .map(|e| crate::system::DegradeEventRecord {
+                    t_secs: e.time.as_secs_f64(),
+                    kind: match e.kind {
+                        DegradeKind::BlockRetired(_) => "block_retired".to_owned(),
+                        DegradeKind::ReadOnly => "read_only".to_owned(),
+                    },
+                    block: match e.kind {
+                        DegradeKind::BlockRetired(b) => Some(u64::from(b.0)),
+                        DegradeKind::ReadOnly => None,
+                    },
+                })
+                .collect(),
+        })
     }
 
     /// Read-only access to the FTL (for tests and examples).
     #[must_use]
     pub fn ftl(&self) -> &Ftl {
         &self.ftl
+    }
+
+    /// LPNs of the most recent request whose flash read came back
+    /// uncorrectable — empty after any request that read cleanly. The
+    /// array layer re-reads these from the mirror replica via
+    /// [`recovery_read`](Self::recovery_read).
+    #[must_use]
+    pub fn failed_read_lpns(&self) -> &[Lpn] {
+        &self.failed_reads
     }
 
     /// Read-only access to the page cache (for tests and examples).

@@ -20,4 +20,4 @@ mod report;
 pub use config::{ManagerPlacement, SystemConfig, VictimKind};
 pub use engine::{GcSignals, SsdSystem};
 pub use profile::PhaseProfile;
-pub use report::{IntervalSample, SimReport};
+pub use report::{DegradeEventRecord, DegradedReport, IntervalSample, SimReport};

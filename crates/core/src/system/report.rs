@@ -26,6 +26,86 @@ pub struct IntervalSample {
     pub waf: f64,
 }
 
+/// One entry of the device's failure timeline, as recorded in the run
+/// report: a block retirement or the final transition to read-only mode.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DegradeEventRecord {
+    /// Simulated time of the event, seconds.
+    pub t_secs: f64,
+    /// `"block_retired"` or `"read_only"`.
+    pub kind: String,
+    /// The retired block's id (`None` for the read-only transition).
+    pub block: Option<u64>,
+}
+
+impl DegradeEventRecord {
+    /// Serializes one failure-timeline entry.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("t_secs", self.t_secs)
+            .field("kind", self.kind.as_str())
+            .field("block", self.block)
+            .build()
+    }
+}
+
+/// End-of-life record for a run in which wear actually bit: injected
+/// faults fired, blocks were retired, or the device went read-only. The
+/// section is omitted entirely from reports of healthy runs so their
+/// output stays byte-identical with pre-fault-model builds.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DegradedReport {
+    /// `true` once the device stopped accepting writes.
+    pub read_only: bool,
+    /// When the read-only transition happened, seconds of simulated time.
+    pub read_only_at_secs: Option<f64>,
+    /// The lifetime metric (paper Fig. 9's y-axis): host bytes accepted
+    /// between the end of pre-fill and the read-only transition. `None`
+    /// while the device is still writable.
+    pub lifetime_host_bytes: Option<u64>,
+    /// Blocks retired as bad.
+    pub retired_blocks: u64,
+    /// Pages permanently lost to retired blocks.
+    pub retired_pages: u64,
+    /// Page programs re-issued after an injected program failure.
+    pub program_retries: u64,
+    /// GC source reads that came back uncorrectable (data relocated raw).
+    pub gc_read_failures: u64,
+    /// Host reads that came back uncorrectable.
+    pub host_read_failures: u64,
+    /// Host requests refused after the read-only transition.
+    pub rejected_requests: u64,
+    /// The failure timeline, in event order.
+    pub events: Vec<DegradeEventRecord>,
+}
+
+impl DegradedReport {
+    /// Serializes the end-of-life section.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let events: Vec<JsonValue> = self
+            .events
+            .iter()
+            .map(DegradeEventRecord::to_json)
+            .collect();
+        ObjectBuilder::new()
+            .field("read_only", self.read_only)
+            .field("read_only_at_secs", self.read_only_at_secs)
+            .field("lifetime_host_bytes", self.lifetime_host_bytes)
+            .field("retired_blocks", self.retired_blocks)
+            .field("retired_pages", self.retired_pages)
+            .field("program_retries", self.program_retries)
+            .field("gc_read_failures", self.gc_read_failures)
+            .field("host_read_failures", self.host_read_failures)
+            .field("rejected_requests", self.rejected_requests)
+            .field("events", JsonValue::Array(events))
+            .build()
+    }
+}
+
 /// Everything one simulation run measured — the raw material for every
 /// table and figure in the paper's evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +180,10 @@ pub struct SimReport {
     /// Per-interval snapshots (empty unless timeline recording was on).
     #[cfg_attr(feature = "serde", serde(default))]
     pub timeline: Vec<IntervalSample>,
+    /// End-of-life record; `None` for a healthy run (and then absent from
+    /// the JSON, keeping fault-free output byte-identical).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub degraded: Option<DegradedReport>,
 }
 
 impl SimReport {
@@ -131,7 +215,7 @@ impl SimReport {
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         let timeline: Vec<JsonValue> = self.timeline.iter().map(IntervalSample::to_json).collect();
-        ObjectBuilder::new()
+        let mut b = ObjectBuilder::new()
             .field("policy", self.policy.as_str())
             .field("workload", self.workload.as_str())
             .field("victim_policy", self.victim_policy.as_str())
@@ -163,8 +247,11 @@ impl SimReport {
             .field("cache_hit_ratio", self.cache_hit_ratio)
             .field("host_pages_written", self.host_pages_written)
             .field("nand_pages_programmed", self.nand_pages_programmed)
-            .field("timeline", JsonValue::Array(timeline))
-            .build()
+            .field("timeline", JsonValue::Array(timeline));
+        if let Some(degraded) = &self.degraded {
+            b = b.field("degraded", degraded.to_json());
+        }
+        b.build()
     }
 }
 
@@ -219,6 +306,7 @@ mod tests {
             host_pages_written: 0,
             nand_pages_programmed: 0,
             timeline: Vec::new(),
+            degraded: None,
         }
     }
 

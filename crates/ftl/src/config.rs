@@ -1,6 +1,6 @@
 //! FTL configuration.
 
-use jitgc_nand::{Geometry, NandTiming};
+use jitgc_nand::{FaultConfig, Geometry, NandTiming};
 use jitgc_sim::json::{JsonError, JsonValue, ObjectBuilder};
 use jitgc_sim::{ByteSize, SimDuration};
 
@@ -36,6 +36,7 @@ pub struct FtlConfig {
     hot_cold_streams: bool,
     hot_window: SimDuration,
     endurance_limit: Option<u64>,
+    fault: Option<FaultConfig>,
     geometry: Geometry,
     timing: NandTiming,
 }
@@ -122,6 +123,13 @@ impl FtlConfig {
         self.endurance_limit
     }
 
+    /// Wear-dependent fault injection parameters, if fault injection is
+    /// enabled (`None` = a fault-free device).
+    #[must_use]
+    pub fn fault(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref()
+    }
+
     /// The derived physical geometry.
     #[must_use]
     pub fn geometry(&self) -> &Geometry {
@@ -136,10 +144,12 @@ impl FtlConfig {
 
     /// Serializes to the repository's JSON config format. The geometry is
     /// not stored: [`from_json`](Self::from_json) re-derives it from the
-    /// same inputs [`build`](FtlConfigBuilder::build) uses.
+    /// same inputs [`build`](FtlConfigBuilder::build) uses. The `fault`
+    /// field is emitted only when fault injection is configured, so
+    /// fault-free config dumps are unchanged from earlier versions.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
-        ObjectBuilder::new()
+        let mut b = ObjectBuilder::new()
             .field("user_pages", self.user_pages)
             .field("op_permille", self.op_permille)
             .field("pages_per_block", self.geometry.pages_per_block())
@@ -153,8 +163,11 @@ impl FtlConfig {
             .field("hot_cold_streams", self.hot_cold_streams)
             .field("hot_window_us", self.hot_window.as_micros())
             .field("endurance_limit", self.endurance_limit)
-            .field("timing", self.timing.to_json())
-            .build()
+            .field("timing", self.timing.to_json());
+        if let Some(fault) = &self.fault {
+            b = b.field("fault", fault.to_json());
+        }
+        b.build()
     }
 
     /// Parses the format written by [`to_json`](Self::to_json).
@@ -196,7 +209,39 @@ impl FtlConfig {
                 builder = builder.endurance_limit(cycles);
             }
         }
+        match v.get("fault") {
+            None => {}
+            Some(fault) if fault.is_null() => {}
+            Some(fault) => builder = builder.fault(FaultConfig::from_json(fault)?),
+        }
         Ok(builder.build())
+    }
+
+    /// Reconstructs a builder carrying every setting of this
+    /// configuration, so a caller can tweak one knob without silently
+    /// dropping the others (timing, SIP threshold, endurance, fault
+    /// injection, …) the way a fresh builder would.
+    #[must_use]
+    pub fn to_builder(&self) -> FtlConfigBuilder {
+        let mut builder = FtlConfig::builder()
+            .user_pages(self.user_pages)
+            .op_permille(self.op_permille)
+            .pages_per_block(self.geometry.pages_per_block())
+            .page_size_bytes(self.geometry.page_size().as_u64())
+            .gc_reserve_blocks(self.gc_reserve_blocks)
+            .sip_filter_threshold_permille(self.sip_filter_threshold_permille)
+            .wear_level_threshold(self.wear_level_threshold)
+            .timing(self.timing);
+        if self.hot_cold_streams {
+            builder = builder.hot_cold_streams(self.hot_window);
+        }
+        if let Some(limit) = self.endurance_limit {
+            builder = builder.endurance_limit(limit);
+        }
+        if let Some(fault) = self.fault {
+            builder = builder.fault(fault);
+        }
+        builder
     }
 }
 
@@ -218,6 +263,7 @@ pub struct FtlConfigBuilder {
     hot_cold_streams: bool,
     hot_window: SimDuration,
     endurance_limit: Option<u64>,
+    fault: Option<FaultConfig>,
     timing: NandTiming,
 }
 
@@ -235,6 +281,7 @@ impl Default for FtlConfigBuilder {
             hot_cold_streams: false,
             hot_window: SimDuration::from_secs(5),
             endurance_limit: None,
+            fault: None,
             timing: NandTiming::mlc_20nm(),
         }
     }
@@ -317,6 +364,16 @@ impl FtlConfigBuilder {
         self
     }
 
+    /// Enables seeded wear-dependent fault injection (see
+    /// [`FaultConfig`]). Faults surface as NAND errors the FTL recovers
+    /// from: programs are retried elsewhere, erase failures retire the
+    /// block, uncorrectable reads are reported to the host layer.
+    #[must_use]
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Sets the NAND timing model.
     #[must_use]
     pub fn timing(mut self, timing: NandTiming) -> Self {
@@ -358,6 +415,7 @@ impl FtlConfigBuilder {
             hot_cold_streams: self.hot_cold_streams,
             hot_window: self.hot_window,
             endurance_limit: self.endurance_limit,
+            fault: self.fault,
             op_permille: self.op_permille,
             gc_reserve_blocks: self.gc_reserve_blocks,
             sip_filter_threshold_permille: self.sip_filter_threshold_permille,
@@ -403,6 +461,68 @@ mod tests {
         let c = FtlConfig::builder().build();
         let back = FtlConfig::from_json(&c.to_json()).expect("parse");
         assert_eq!(back.endurance_limit(), None);
+        assert!(back.fault().is_none());
+    }
+
+    #[test]
+    fn json_fault_round_trips_and_is_omitted_when_absent() {
+        let fault = FaultConfig {
+            seed: 99,
+            program_rate: 0.01,
+            erase_rate: 0.02,
+            read_rate: 0.005,
+            wear_scale: 50,
+        };
+        let c = FtlConfig::builder().fault(fault).build();
+        let back = FtlConfig::from_json(&c.to_json()).expect("parse");
+        assert_eq!(back.fault(), Some(&fault));
+        // A fault-free config's dump carries no `fault` key at all, so
+        // pre-existing dumps stay byte-identical.
+        let plain = FtlConfig::builder().build();
+        assert!(plain.to_json().get("fault").is_none());
+    }
+
+    #[test]
+    fn to_builder_preserves_every_setting() {
+        let c = FtlConfig::builder()
+            .user_pages(5_000)
+            .op_permille(150)
+            .pages_per_block(64)
+            .page_size_bytes(8_192)
+            .gc_reserve_blocks(3)
+            .sip_filter_threshold_permille(400)
+            .wear_level_threshold(32)
+            .hot_cold_streams(SimDuration::from_secs(7))
+            .endurance_limit(3_000)
+            .fault(FaultConfig {
+                seed: 5,
+                program_rate: 0.1,
+                erase_rate: 0.0,
+                read_rate: 0.0,
+                wear_scale: 100,
+            })
+            .timing(NandTiming::legacy_130nm())
+            .build();
+        let back = c.to_builder().build();
+        assert_eq!(back.user_pages(), c.user_pages());
+        assert_eq!(back.op_permille(), c.op_permille());
+        assert_eq!(back.geometry(), c.geometry());
+        assert_eq!(back.gc_reserve_blocks(), c.gc_reserve_blocks());
+        assert_eq!(
+            back.sip_filter_threshold_permille(),
+            c.sip_filter_threshold_permille()
+        );
+        assert_eq!(back.wear_level_threshold(), c.wear_level_threshold());
+        assert_eq!(back.hot_cold_streams(), c.hot_cold_streams());
+        assert_eq!(back.hot_window(), c.hot_window());
+        assert_eq!(back.endurance_limit(), c.endurance_limit());
+        assert_eq!(back.fault(), c.fault());
+        assert_eq!(back.timing(), c.timing());
+        // One tweak, everything else intact.
+        let tweaked = c.to_builder().op_permille(300).build();
+        assert_eq!(tweaked.op_permille(), 300);
+        assert_eq!(tweaked.endurance_limit(), c.endurance_limit());
+        assert_eq!(tweaked.timing(), c.timing());
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum FtlError {
     /// The underlying NAND device rejected an operation — always an FTL
     /// bug surfaced loudly rather than swallowed.
     Nand(NandError),
+    /// The device is in read-only degraded mode: enough blocks have been
+    /// retired that writes can no longer be sustained. Reads keep working.
+    ReadOnly,
 }
 
 impl fmt::Display for FtlError {
@@ -42,6 +45,9 @@ impl fmt::Display for FtlError {
                 write!(f, "garbage collection found no reclaimable block")
             }
             FtlError::Nand(e) => write!(f, "nand device error: {e}"),
+            FtlError::ReadOnly => {
+                write!(f, "device is in read-only degraded mode (end of life)")
+            }
         }
     }
 }
@@ -80,6 +86,7 @@ mod tests {
         assert!(FtlError::NoReclaimableSpace
             .to_string()
             .contains("no reclaimable"));
+        assert!(FtlError::ReadOnly.to_string().contains("read-only"));
     }
 
     #[test]

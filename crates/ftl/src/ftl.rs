@@ -2,8 +2,31 @@
 
 use crate::victim_index::VictimIndex;
 use crate::{BlockInfo, FtlConfig, FtlError, FtlStats, SipList, VictimSelector};
-use jitgc_nand::{BlockId, Lpn, NandDevice, Ppn};
+use jitgc_nand::{BlockId, FaultModel, Lpn, NandDevice, NandError, Ppn};
 use jitgc_sim::{ByteSize, SimDuration, SimTime};
+
+/// What kind of degradation a [`DegradeEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeKind {
+    /// A block was retired as bad (endurance exceeded or erase failed);
+    /// the device's usable capacity shrank by one block.
+    BlockRetired(BlockId),
+    /// The device entered read-only degraded mode: retirements left too
+    /// little writable space to sustain further host writes.
+    ReadOnly,
+}
+
+/// One entry of the device's failure timeline: when wear took capacity
+/// away, and when it finally took write service away. The sequence is
+/// fully determined by the fault seed and the operation stream, so two
+/// runs with the same seed produce identical timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeEvent {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// What degraded.
+    pub kind: DegradeKind,
+}
 
 /// Result of one host page write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,6 +75,10 @@ pub struct BatchReadOutcome {
     /// Reads of never-written pages; the host layer zero-fills these
     /// without touching the device.
     pub unmapped: u64,
+    /// Reads that came back uncorrectable (injected wear faults). The
+    /// affected LPNs are available from
+    /// [`Ftl::failed_read_lpns`] until the next batched read.
+    pub failed: u64,
 }
 
 /// Result of one background-GC invocation.
@@ -111,6 +138,21 @@ pub struct Ftl {
     /// Bucketed candidate index updated O(1) on seal/invalidate/erase;
     /// tracks exactly the blocks victim selection may choose from.
     victim_index: VictimIndex,
+    /// `true` once retirements have shrunk writable capacity below what
+    /// sustained host writes need; writes then fail with
+    /// [`FtlError::ReadOnly`] while reads keep working.
+    read_only: bool,
+    /// Pages permanently lost to retired blocks. Their page states still
+    /// sit in the device tallies as "invalid", so the space accounting
+    /// subtracts this to avoid promising unreclaimable capacity.
+    retired_pages: u64,
+    /// The failure timeline: every retirement plus the read-only
+    /// transition, in order.
+    degrade_events: Vec<DegradeEvent>,
+    /// LPNs whose last batched read came back uncorrectable; scratch
+    /// reused across batches (a mirror layer reads these back from the
+    /// surviving replica).
+    failed_reads: Vec<Lpn>,
     stats: FtlStats,
 }
 
@@ -121,6 +163,9 @@ impl Ftl {
         let mut device = NandDevice::new(*config.geometry(), *config.timing());
         if let Some(limit) = config.endurance_limit() {
             device = device.with_endurance_limit(limit);
+        }
+        if let Some(fault) = config.fault() {
+            device = device.with_fault_model(FaultModel::new(*fault));
         }
         let blocks = config.geometry().blocks();
         Ftl {
@@ -141,6 +186,10 @@ impl Ftl {
             sip_filter_enabled: true,
             selector,
             victim_index: VictimIndex::new(blocks, config.geometry().pages_per_block()),
+            read_only: false,
+            retired_pages: 0,
+            degrade_events: Vec::new(),
+            failed_reads: Vec::new(),
             stats: FtlStats::default(),
             device,
             config,
@@ -167,22 +216,16 @@ impl Ftl {
     /// [`host_write`](Self::host_write) body after address validation;
     /// batch entry points validate the whole batch once, then call this.
     fn host_write_checked(&mut self, lpn: Lpn, now: SimTime) -> Result<WriteOutcome, FtlError> {
+        if self.read_only {
+            return Err(FtlError::ReadOnly);
+        }
         let mut outcome = WriteOutcome::default();
 
         // Make sure a page is available, reclaiming in the foreground if
         // the pool has fallen to the GC scratch reserve.
         let hot = self.classify_hot(lpn, now);
-        if self.needs_active_block(hot) && self.pool_is_at_floor() {
-            let fgc = self.foreground_collect(now)?;
-            outcome.foreground_gc = true;
-            outcome.migrated_pages = fgc.pages_migrated;
-            outcome.erased_blocks = fgc.blocks_erased;
-            outcome.duration += fgc.duration;
-            self.stats.fgc_invocations += 1;
-            self.stats.fgc_blocks += fgc.blocks_erased;
-            self.stats.fgc_time += fgc.duration;
-        }
-        let active = self.ensure_active_block(hot)?;
+        self.fgc_if_at_floor(hot, now, &mut outcome)?;
+        let mut active = self.ensure_writable_block(hot, now)?;
 
         // Out-of-place update: retire the previous copy.
         if let Some(old) = self.mapping[lpn.0 as usize] {
@@ -197,13 +240,31 @@ impl Ftl {
             self.sip.remove(lpn);
         }
 
-        let offset = self
-            .device
-            .block(active)
-            .next_free_offset()
-            .expect("active block has space by construction");
-        let ppn = self.device.geometry().ppn(active, offset);
-        outcome.duration += self.device.program(ppn, lpn)?;
+        let ppn = loop {
+            let offset = self
+                .device
+                .block(active)
+                .next_free_offset()
+                .expect("active block has space by construction");
+            let ppn = self.device.geometry().ppn(active, offset);
+            match self.device.program(ppn, lpn) {
+                Ok(took) => {
+                    outcome.duration += took;
+                    break ppn;
+                }
+                Err(NandError::ProgramFailed { .. }) => {
+                    // The failed page is consumed (marked invalid by the
+                    // device); charge the wasted attempt and re-issue the
+                    // write to the next free page, reclaiming first if the
+                    // failure sealed the last page of the pool's headroom.
+                    outcome.duration += self.config.timing().page_program_cost();
+                    self.stats.program_retries += 1;
+                    self.fgc_if_at_floor(hot, now, &mut outcome)?;
+                    active = self.ensure_writable_block(hot, now)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         self.mapping[lpn.0 as usize] = Some(ppn);
         self.last_write[active.0 as usize] = now;
         if let Some(times) = self.lpn_last_write.as_mut() {
@@ -212,6 +273,52 @@ impl Ftl {
         self.stats.host_pages_written += 1;
         self.stats.hot_stream_pages += u64::from(hot);
         Ok(outcome)
+    }
+
+    /// Runs foreground GC when the next host write would need a block the
+    /// pool cannot spare. When even foreground GC cannot free space — only
+    /// possible once retirements have consumed the over-provisioning — the
+    /// device transitions to read-only degraded mode instead of erroring
+    /// with an internal GC failure.
+    fn fgc_if_at_floor(
+        &mut self,
+        hot: bool,
+        now: SimTime,
+        outcome: &mut WriteOutcome,
+    ) -> Result<(), FtlError> {
+        if !(self.needs_active_block(hot) && self.pool_is_at_floor()) {
+            return Ok(());
+        }
+        match self.foreground_collect(now) {
+            Ok(fgc) => {
+                outcome.foreground_gc = true;
+                outcome.migrated_pages += fgc.pages_migrated;
+                outcome.erased_blocks += fgc.blocks_erased;
+                outcome.duration += fgc.duration;
+                self.stats.fgc_invocations += 1;
+                self.stats.fgc_blocks += fgc.blocks_erased;
+                self.stats.fgc_time += fgc.duration;
+                Ok(())
+            }
+            Err(FtlError::NoReclaimableSpace) => {
+                self.enter_read_only(now);
+                Err(FtlError::ReadOnly)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`ensure_active_block`](Self::ensure_active_block), degrading to
+    /// read-only mode when no free block exists at all.
+    fn ensure_writable_block(&mut self, hot: bool, now: SimTime) -> Result<BlockId, FtlError> {
+        match self.ensure_active_block(hot) {
+            Ok(b) => Ok(b),
+            Err(FtlError::NoReclaimableSpace) => {
+                self.enter_read_only(now);
+                Err(FtlError::ReadOnly)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Reads one logical page.
@@ -223,7 +330,14 @@ impl Ftl {
     pub fn host_read(&mut self, lpn: Lpn, _now: SimTime) -> Result<ReadOutcome, FtlError> {
         self.check_lpn(lpn)?;
         let ppn = self.mapping[lpn.0 as usize].ok_or(FtlError::LpnUnmapped { lpn })?;
-        let duration = self.device.read(ppn)?;
+        let duration = match self.device.read(ppn) {
+            Ok(d) => d,
+            Err(e @ NandError::ReadFailed { .. }) => {
+                self.stats.host_read_failures += 1;
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
         self.stats.host_pages_read += 1;
         Ok(ReadOutcome { duration })
     }
@@ -235,9 +349,14 @@ impl Ftl {
     ///
     /// # Errors
     ///
-    /// [`FtlError::LpnOutOfRange`] for a bad address.
+    /// [`FtlError::LpnOutOfRange`] for a bad address, or
+    /// [`FtlError::ReadOnly`] once the device has degraded to read-only
+    /// mode (TRIM mutates device state like any write).
     pub fn trim(&mut self, lpn: Lpn, _now: SimTime) -> Result<(), FtlError> {
         self.check_lpn(lpn)?;
+        if self.read_only {
+            return Err(FtlError::ReadOnly);
+        }
         if let Some(old) = self.mapping[lpn.0 as usize].take() {
             self.device.invalidate(old)?;
             let b = self.device.geometry().block_of(old);
@@ -304,12 +423,25 @@ impl Ftl {
             self.check_lpn(lpn)?;
         }
         let mut out = BatchReadOutcome::default();
+        self.failed_reads.clear();
         for &lpn in lpns {
             match self.mapping[lpn.0 as usize] {
-                Some(ppn) => {
-                    out.duration += self.device.read(ppn)?;
-                    self.stats.host_pages_read += 1;
-                }
+                Some(ppn) => match self.device.read(ppn) {
+                    Ok(took) => {
+                        out.duration += took;
+                        self.stats.host_pages_read += 1;
+                    }
+                    Err(NandError::ReadFailed { .. }) => {
+                        // Uncorrectable: the attempt still took a full read,
+                        // but no data came back. The LPN is recorded so a
+                        // redundant layer can re-read it from a mirror.
+                        out.duration += self.config.timing().page_read_cost();
+                        out.failed += 1;
+                        self.stats.host_read_failures += 1;
+                        self.failed_reads.push(lpn);
+                    }
+                    Err(e) => return Err(e.into()),
+                },
                 None => out.unmapped += 1,
             }
         }
@@ -352,6 +484,9 @@ impl Ftl {
         target_free_pages: Option<u64>,
     ) -> BgcOutcome {
         let mut outcome = BgcOutcome::default();
+        if self.read_only {
+            return outcome;
+        }
         let migrate_cost = self.config.timing().page_migrate_cost();
         let erase_cost = self.config.timing().block_erase_cost();
         'outer: loop {
@@ -400,7 +535,7 @@ impl Ftl {
                             break 'outer;
                         }
                         let freed = u64::from(self.device.block(victim).invalid_pages());
-                        match self.erase_or_retire(victim) {
+                        match self.erase_or_retire(victim, now) {
                             Some(took) => {
                                 outcome.duration += took;
                                 outcome.blocks_erased += 1;
@@ -433,15 +568,40 @@ impl Ftl {
         now: SimTime,
     ) -> Result<SimDuration, FtlError> {
         let old_ppn = self.device.geometry().ppn(victim, offset);
-        let mut took = self.device.read(old_ppn)?;
-        let gc_block = self.ensure_active_gc_block()?;
-        let gc_offset = self
-            .device
-            .block(gc_block)
-            .next_free_offset()
-            .expect("gc block has space by construction");
-        let new_ppn = self.device.geometry().ppn(gc_block, gc_offset);
-        took += self.device.program(new_ppn, lpn)?;
+        let mut took = match self.device.read(old_ppn) {
+            Ok(t) => t,
+            Err(NandError::ReadFailed { .. }) => {
+                // Uncorrectable source read. Relocate the raw (error-laden)
+                // data anyway: dropping the mapping would turn a read error
+                // into silent data loss, and a real controller would salvage
+                // whatever the ECC could not fix.
+                self.stats.gc_read_failures += 1;
+                self.config.timing().page_read_cost()
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (gc_block, new_ppn) = loop {
+            let gc_block = self.ensure_active_gc_block()?;
+            let gc_offset = self
+                .device
+                .block(gc_block)
+                .next_free_offset()
+                .expect("gc block has space by construction");
+            let new_ppn = self.device.geometry().ppn(gc_block, gc_offset);
+            match self.device.program(new_ppn, lpn) {
+                Ok(t) => {
+                    took += t;
+                    break (gc_block, new_ppn);
+                }
+                Err(NandError::ProgramFailed { .. }) => {
+                    // Failed page is consumed; charge the attempt and retry
+                    // on the next free GC page.
+                    took += self.config.timing().page_program_cost();
+                    self.stats.program_retries += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         self.device.invalidate(old_ppn)?;
         debug_assert!(
             !self.victim_index.is_tracked(victim),
@@ -506,16 +666,17 @@ impl Ftl {
             self.sip_counts[victim.0 as usize], 0,
             "erased block retains SIP-listed valid pages"
         );
-        if let Some(took) = self.erase_or_retire(victim) {
+        if let Some(took) = self.erase_or_retire(victim, now) {
             duration += took;
         }
         Ok((duration, migrated))
     }
 
     /// Erases `victim` and returns it to the free pool, or — when the
-    /// block has exceeded its endurance limit — retires it as a bad block
-    /// (capacity shrinks by one block) and returns `None`.
-    fn erase_or_retire(&mut self, victim: BlockId) -> Option<SimDuration> {
+    /// block has exceeded its endurance limit or the erase itself failed —
+    /// retires it as a bad block (capacity shrinks by one block) and
+    /// returns `None`.
+    fn erase_or_retire(&mut self, victim: BlockId, now: SimTime) -> Option<SimDuration> {
         debug_assert!(
             !self.victim_index.is_tracked(victim),
             "erasing a block still tracked as a candidate"
@@ -527,20 +688,103 @@ impl Ftl {
                 self.is_free[victim.0 as usize] = true;
                 Some(took)
             }
-            Err(jitgc_nand::NandError::BlockWornOut { .. }) => {
-                self.sip_counts[victim.0 as usize] = 0;
-                self.is_retired[victim.0 as usize] = true;
-                self.stats.retired_blocks += 1;
+            Err(NandError::BlockWornOut { .. } | NandError::EraseFailed { .. }) => {
+                self.retire_block(victim, now);
                 None
             }
             Err(e) => panic!("erase of selected victim failed: {e}"),
         }
     }
 
-    /// Number of blocks retired as bad (endurance exceeded).
+    /// Permanently removes `victim` from circulation as a bad block and
+    /// records the capacity loss on the failure timeline. When the loss
+    /// leaves too little writable space to keep absorbing host writes, the
+    /// device transitions to read-only degraded mode.
+    fn retire_block(&mut self, victim: BlockId, now: SimTime) {
+        self.sip_counts[victim.0 as usize] = 0;
+        self.is_retired[victim.0 as usize] = true;
+        self.stats.retired_blocks += 1;
+        // Victims are fully collected before erase, so every page of the
+        // block sits in the device's invalid tally — and stays there
+        // forever. Track the loss so space accounting can exclude it.
+        self.retired_pages += u64::from(self.config.geometry().pages_per_block());
+        self.degrade_events.push(DegradeEvent {
+            time: now,
+            kind: DegradeKind::BlockRetired(victim),
+        });
+        self.update_degraded_state(now);
+    }
+
+    /// Checks whether block retirements have shrunk the device below the
+    /// minimum writable footprint: enough live blocks to hold all valid
+    /// data plus the GC scratch reserve plus one block of write headroom.
+    /// Below that, GC can no longer turn over blocks and the device goes
+    /// read-only.
+    fn update_degraded_state(&mut self, now: SimTime) {
+        if self.read_only {
+            return;
+        }
+        let geometry = self.config.geometry();
+        let ppb = u64::from(geometry.pages_per_block());
+        // Derive the retired count from `retired_pages`, not from
+        // `stats.retired_blocks`: the stats counter is zeroed by
+        // [`reset_counters`](Ftl::reset_counters) after aging pre-fill,
+        // while retirement is permanent device state.
+        let live_blocks = u64::from(geometry.blocks()) - self.retired_pages / ppb;
+        let valid_pages = self.device.total_valid_pages();
+        let reserve_blocks = u64::from(self.config.gc_reserve_blocks());
+        if live_blocks * ppb < valid_pages + (reserve_blocks + 1) * ppb {
+            self.enter_read_only(now);
+        }
+    }
+
+    /// Idempotent transition into read-only degraded mode.
+    fn enter_read_only(&mut self, now: SimTime) {
+        if self.read_only {
+            return;
+        }
+        self.read_only = true;
+        self.degrade_events.push(DegradeEvent {
+            time: now,
+            kind: DegradeKind::ReadOnly,
+        });
+    }
+
+    /// Number of blocks retired as bad (endurance exceeded or erase
+    /// failed).
     #[must_use]
     pub fn retired_blocks(&self) -> u64 {
         self.stats.retired_blocks
+    }
+
+    /// Pages permanently lost to retired blocks.
+    #[must_use]
+    pub fn retired_pages(&self) -> u64 {
+        self.retired_pages
+    }
+
+    /// `true` once the device has entered read-only degraded mode: writes
+    /// fail with [`FtlError::ReadOnly`], reads keep working.
+    #[must_use]
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// The failure timeline: every block retirement plus the read-only
+    /// transition, in event order. Deterministic for a given fault seed
+    /// and operation stream.
+    #[must_use]
+    pub fn degrade_events(&self) -> &[DegradeEvent] {
+        &self.degrade_events
+    }
+
+    /// LPNs whose most recent [`host_read_batch`](Self::host_read_batch)
+    /// attempt came back uncorrectable, in batch order. Valid until the
+    /// next batched read; a mirror layer re-reads these from the surviving
+    /// replica.
+    #[must_use]
+    pub fn failed_read_lpns(&self) -> &[Lpn] {
+        &self.failed_reads
     }
 
     /// Chooses the next GC victim. For background GC with a non-empty SIP
@@ -775,9 +1019,18 @@ impl Ftl {
     /// Policies must not target beyond this — the paper's `C_resv ≤
     /// C_unused + C_OP` restriction, which "avoids useless BGC operations
     /// when an SSD is filled with a large amount of user data".
+    /// Invalid pages in retired blocks are *not* reclaimable — the block
+    /// will never be erased again — so they are excluded here; counting
+    /// them would let a policy set a `C_resv` target BGC can never reach
+    /// and spin on useless collection attempts.
     #[must_use]
     pub fn reclaimable_capacity(&self) -> ByteSize {
-        self.config.geometry().page_size() * (self.free_pages() + self.device.total_invalid_pages())
+        self.config.geometry().page_size()
+            * (self.free_pages()
+                + self
+                    .device
+                    .total_invalid_pages()
+                    .saturating_sub(self.retired_pages))
     }
 
     /// Zeroes every statistics counter (FTL and NAND operation counters)
@@ -787,6 +1040,11 @@ impl Ftl {
     pub fn reset_counters(&mut self) {
         self.stats = FtlStats::default();
         self.device.reset_stats();
+        // Pre-fill wear is setup, not measurement: drop its degradation
+        // timeline entries so reports cover only the steady-state phase.
+        // The `read_only` flag and per-block retirement state persist —
+        // they are device state, not counters.
+        self.degrade_events.clear();
     }
 
     /// The over-provisioning capacity `C_OP`.
@@ -1429,5 +1687,176 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Drives `ftl` with a hot-page overwrite workload until the predicate
+    /// holds or the round budget runs out; returns the rounds consumed.
+    fn hammer_until(ftl: &mut Ftl, rounds: u64, mut done: impl FnMut(&Ftl) -> bool) -> u64 {
+        let mut round = 0u64;
+        while !done(ftl) && round < rounds {
+            for lpn in 0..16u64 {
+                match ftl.host_write(Lpn(lpn), t(round)) {
+                    Ok(_) | Err(FtlError::ReadOnly) => {}
+                    Err(e) => panic!("unexpected write error: {e}"),
+                }
+            }
+            ftl.background_collect(t(round), SimDuration::from_secs(1), None);
+            round += 1;
+        }
+        round
+    }
+
+    #[test]
+    fn retired_blocks_shrink_reclaimable_capacity() {
+        // Regression: invalid pages inside retired blocks used to stay in
+        // reclaimable_capacity forever, overstating what BGC could free.
+        let mut ftl = Ftl::new(
+            FtlConfig::builder()
+                .user_pages(64)
+                .op_permille(500)
+                .pages_per_block(8)
+                .gc_reserve_blocks(2)
+                .endurance_limit(3)
+                .build(),
+            Box::new(GreedySelector),
+        );
+        let rounds = hammer_until(&mut ftl, 2_000, |f| f.retired_blocks() >= 2);
+        assert!(
+            ftl.retired_blocks() >= 2,
+            "no retirements in {rounds} rounds"
+        );
+        assert_eq!(
+            ftl.retired_pages(),
+            ftl.retired_blocks() * u64::from(ftl.config().geometry().pages_per_block())
+        );
+        // Reclaimable capacity must never exceed what the live blocks can
+        // actually yield: total live space minus valid data minus the
+        // reserve the pool floor keeps back.
+        let geometry = *ftl.config().geometry();
+        let ppb = u64::from(geometry.pages_per_block());
+        let live_pages = (u64::from(geometry.blocks()) - ftl.retired_blocks()) * ppb;
+        let reserve = u64::from(ftl.config().gc_reserve_blocks()) * ppb;
+        let ceiling = geometry.page_size()
+            * (live_pages - ftl.device().total_valid_pages()).saturating_sub(reserve);
+        assert!(
+            ftl.reclaimable_capacity() <= ceiling,
+            "reclaimable {} exceeds achievable ceiling {}",
+            ftl.reclaimable_capacity(),
+            ceiling
+        );
+        // And the failure timeline recorded each retirement.
+        let retire_events = ftl
+            .degrade_events()
+            .iter()
+            .filter(|e| matches!(e.kind, DegradeKind::BlockRetired(_)))
+            .count() as u64;
+        assert_eq!(retire_events, ftl.retired_blocks());
+    }
+
+    #[test]
+    fn exhausted_endurance_degrades_to_read_only() {
+        // Satellite: with a tiny endurance limit and modest OP, retirements
+        // must end in a clean read-only transition — no panic, no hang.
+        let mut ftl = Ftl::new(
+            FtlConfig::builder()
+                .user_pages(64)
+                .op_permille(250)
+                .pages_per_block(8)
+                .gc_reserve_blocks(2)
+                .endurance_limit(2)
+                .build(),
+            Box::new(GreedySelector),
+        );
+        let rounds = hammer_until(&mut ftl, 4_000, Ftl::read_only);
+        assert!(ftl.read_only(), "never went read-only in {rounds} rounds");
+        assert!(matches!(
+            ftl.host_write(Lpn(0), t(rounds)),
+            Err(FtlError::ReadOnly)
+        ));
+        // Reads of surviving data still work.
+        assert!(ftl.host_read(Lpn(0), t(rounds)).is_ok());
+        // BGC refuses to churn a dead device.
+        let bgc = ftl.background_collect(t(rounds), SimDuration::from_secs(1), None);
+        assert_eq!(bgc, BgcOutcome::default());
+        // The timeline ends with exactly one ReadOnly event.
+        let read_only_events = ftl
+            .degrade_events()
+            .iter()
+            .filter(|e| matches!(e.kind, DegradeKind::ReadOnly))
+            .count();
+        assert_eq!(read_only_events, 1);
+        assert!(matches!(
+            ftl.degrade_events().last().map(|e| e.kind),
+            Some(DegradeKind::ReadOnly)
+        ));
+    }
+
+    fn faulty_config(seed: u64) -> FtlConfig {
+        FtlConfig::builder()
+            .user_pages(64)
+            .op_permille(500)
+            .pages_per_block(8)
+            .gc_reserve_blocks(2)
+            .endurance_limit(20)
+            .fault(jitgc_nand::FaultConfig {
+                seed,
+                program_rate: 0.05,
+                erase_rate: 0.05,
+                read_rate: 0.02,
+                wear_scale: 10,
+            })
+            .build()
+    }
+
+    #[test]
+    fn injected_faults_are_survived_and_deterministic() {
+        let run = |seed: u64| {
+            let mut ftl = Ftl::new(faulty_config(seed), Box::new(GreedySelector));
+            let rounds = hammer_until(&mut ftl, 300, |_| false);
+            for lpn in 0..16u64 {
+                let _ = ftl.host_read(Lpn(lpn), t(rounds));
+            }
+            (
+                *ftl.stats(),
+                ftl.degrade_events().to_vec(),
+                ftl.device().stats().program_failures,
+                ftl.device().stats().erase_failures,
+            )
+        };
+        let (stats, events, program_failures, erase_failures) = run(7);
+        assert!(
+            stats.program_retries > 0 && program_failures > 0,
+            "fault rates should have produced program failures"
+        );
+        assert!(erase_failures > 0, "no erase failure injected");
+        assert!(
+            stats.retired_blocks > 0 && !events.is_empty(),
+            "erase failures must retire blocks onto the timeline"
+        );
+        // Same seed ⇒ identical failure timeline and counters.
+        assert_eq!(
+            run(7),
+            (stats, events.clone(), program_failures, erase_failures)
+        );
+        // A different seed produces a different fault history.
+        assert_ne!(run(8).2, program_failures);
+    }
+
+    #[test]
+    fn failed_batch_reads_are_reported_per_lpn() {
+        let mut ftl = Ftl::new(faulty_config(3), Box::new(GreedySelector));
+        hammer_until(&mut ftl, 200, |_| false);
+        let lpns: Vec<Lpn> = (0..16u64).map(Lpn).collect();
+        let mut saw_failure = false;
+        for _ in 0..50 {
+            let out = ftl.host_read_batch(&lpns, t(999)).expect("in range");
+            assert_eq!(out.failed as usize, ftl.failed_read_lpns().len());
+            for lpn in ftl.failed_read_lpns() {
+                assert!(lpn.0 < 16, "failed LPN outside the batch");
+            }
+            saw_failure |= out.failed > 0;
+        }
+        assert!(saw_failure, "worn device never produced a read failure");
+        assert!(ftl.stats().host_read_failures > 0);
     }
 }

@@ -56,8 +56,8 @@ mod victim_index;
 pub use config::{FtlConfig, FtlConfigBuilder};
 pub use error::FtlError;
 pub use ftl::{
-    BatchReadOutcome, BatchWriteOutcome, BgcOutcome, Ftl, ReadOutcome, WearLevelOutcome,
-    WriteOutcome,
+    BatchReadOutcome, BatchWriteOutcome, BgcOutcome, DegradeEvent, DegradeKind, Ftl, ReadOutcome,
+    WearLevelOutcome, WriteOutcome,
 };
 pub use sip::SipList;
 pub use stats::FtlStats;

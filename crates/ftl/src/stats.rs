@@ -43,8 +43,17 @@ pub struct FtlStats {
     pub wear_level_migrations: u64,
     /// Blocks erased by static wear leveling.
     pub wear_level_blocks: u64,
-    /// Blocks retired as bad after exceeding the endurance limit.
+    /// Blocks retired as bad (endurance limit exceeded or erase failed).
     pub retired_blocks: u64,
+    /// Page programs re-issued to another page after an injected program
+    /// failure (host and GC writes combined).
+    pub program_retries: u64,
+    /// GC migrations whose source read came back uncorrectable; the page
+    /// was relocated from the raw (error-laden) data anyway.
+    pub gc_read_failures: u64,
+    /// Host reads that came back uncorrectable — data loss unless a
+    /// redundant copy exists at a higher layer (the array's mirror).
+    pub host_read_failures: u64,
 }
 
 impl FtlStats {

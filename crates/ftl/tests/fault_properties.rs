@@ -1,0 +1,116 @@
+#![cfg(feature = "proptest")]
+
+//! Property-based tests of the wear-fault injector: a disabled fault
+//! model is perfectly inert, and an enabled one is a pure function of its
+//! seed.
+
+use jitgc_ftl::{Ftl, FtlConfig, FtlError, GreedySelector, Lpn};
+use jitgc_nand::FaultConfig;
+use jitgc_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+const USER_PAGES: u64 = 64;
+
+fn ftl_with(fault: Option<FaultConfig>, endurance: u64) -> Ftl {
+    let mut builder = FtlConfig::builder()
+        .user_pages(USER_PAGES)
+        .op_permille(250)
+        .pages_per_block(8)
+        .gc_reserve_blocks(2)
+        .endurance_limit(endurance);
+    if let Some(fault) = fault {
+        builder = builder.fault(fault);
+    }
+    Ftl::new(builder.build(), Box::new(GreedySelector))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64),
+    Trim(u64),
+    Bgc(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..USER_PAGES).prop_map(Op::Write),
+        1 => (0..USER_PAGES).prop_map(Op::Trim),
+        1 => (1..50u64).prop_map(Op::Bgc),
+    ]
+}
+
+/// Drives one op sequence, tolerating the graceful-EOL error paths, and
+/// returns a full observable fingerprint of the run.
+fn drive(ftl: &mut Ftl, ops: &[Op]) -> (String, String, Vec<String>, u64, bool) {
+    let mut t = 0u64;
+    for op in ops {
+        t += 1;
+        let now = SimTime::from_millis(t);
+        match op {
+            Op::Write(lpn) => match ftl.host_write(Lpn(*lpn), now) {
+                Ok(_) | Err(FtlError::ReadOnly) => {}
+                Err(e) => panic!("unexpected write error: {e}"),
+            },
+            Op::Trim(lpn) => match ftl.trim(Lpn(*lpn), now) {
+                Ok(_) | Err(FtlError::ReadOnly) => {}
+                Err(e) => panic!("unexpected trim error: {e}"),
+            },
+            Op::Bgc(ms) => {
+                ftl.background_collect(now, SimDuration::from_millis(*ms), None);
+            }
+        }
+    }
+    (
+        format!("{:?}", ftl.stats()),
+        format!("{:?}", ftl.device().stats()),
+        ftl.degrade_events()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect(),
+        ftl.retired_pages(),
+        ftl.read_only(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A fault model whose every rate is zero must not perturb anything:
+    /// the run is indistinguishable from one with no fault model at all,
+    /// op for op and counter for counter.
+    #[test]
+    fn zero_rate_fault_model_is_inert(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        seed in 0..u64::MAX,
+    ) {
+        let mut plain = ftl_with(None, 20);
+        let mut zeroed = ftl_with(
+            Some(FaultConfig { seed, ..FaultConfig::default() }),
+            20,
+        );
+        prop_assert_eq!(drive(&mut plain, &ops), drive(&mut zeroed, &ops));
+    }
+
+    /// The failure timeline is a pure function of the fault seed: same
+    /// seed ⇒ identical counters, degrade events, and end state; the run
+    /// must survive (no panic) whatever the rates are.
+    #[test]
+    fn fault_timeline_is_a_function_of_the_seed(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        seed in 0..u64::MAX,
+        program_permille in 0..200u32,
+        erase_permille in 0..200u32,
+        read_permille in 0..200u32,
+    ) {
+        let fault = FaultConfig {
+            seed,
+            program_rate: f64::from(program_permille) / 1_000.0,
+            erase_rate: f64::from(erase_permille) / 1_000.0,
+            read_rate: f64::from(read_permille) / 1_000.0,
+            wear_scale: 10,
+        };
+        let mut a = ftl_with(Some(fault), 8);
+        let mut b = ftl_with(Some(fault), 8);
+        prop_assert_eq!(drive(&mut a, &ops), drive(&mut b, &ops));
+    }
+}

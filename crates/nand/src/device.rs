@@ -1,7 +1,8 @@
 //! The whole-device NAND model.
 
 use crate::{
-    Block, BlockId, Geometry, Lpn, NandError, NandStats, NandTiming, PageState, Ppn, WearReport,
+    Block, BlockId, FaultModel, Geometry, Lpn, NandError, NandStats, NandTiming, PageState, Ppn,
+    WearReport,
 };
 use jitgc_sim::SimDuration;
 
@@ -36,6 +37,10 @@ pub struct NandDevice {
     blocks: Vec<Block>,
     stats: NandStats,
     endurance_limit: Option<u64>,
+    /// Wear-dependent fault injector; `None` (the default) performs no
+    /// RNG draws, so a fault-free device behaves byte-identically to one
+    /// built before the injector existed.
+    fault: Option<FaultModel>,
     /// Device-wide page-state tallies, maintained incrementally on every
     /// program/invalidate/erase so `total_*_pages()` — polled by the GC
     /// policies on the hot path — never scans the block array.
@@ -58,6 +63,7 @@ impl NandDevice {
             blocks,
             stats: NandStats::default(),
             endurance_limit: None,
+            fault: None,
             valid_total: 0,
             invalid_total: 0,
         }
@@ -70,6 +76,21 @@ impl NandDevice {
     pub fn with_endurance_limit(mut self, cycles: u64) -> Self {
         self.endurance_limit = Some(cycles);
         self
+    }
+
+    /// Installs a wear-dependent fault injector. Operations on worn
+    /// blocks may then fail with [`NandError::ProgramFailed`],
+    /// [`NandError::EraseFailed`], or [`NandError::ReadFailed`].
+    #[must_use]
+    pub fn with_fault_model(mut self, fault: FaultModel) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The installed fault injector, if any.
+    #[must_use]
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
     }
 
     /// The device geometry.
@@ -132,15 +153,25 @@ impl NandDevice {
     ///
     /// # Errors
     ///
-    /// [`NandError::PpnOutOfRange`] for a bad address, or
+    /// [`NandError::PpnOutOfRange`] for a bad address,
     /// [`NandError::ReadUnwrittenPage`] when the page holds no data
-    /// (reading a stale-but-programmed page is physically fine and allowed).
+    /// (reading a stale-but-programmed page is physically fine and allowed),
+    /// or [`NandError::ReadFailed`] when the fault injector fires — the
+    /// transfer time is still charged; only ECC came back defeated.
     pub fn read(&mut self, ppn: Ppn) -> Result<SimDuration, NandError> {
         self.check_ppn(ppn)?;
         let block = self.geometry.block_of(ppn);
         let offset = self.geometry.page_offset(ppn);
         if self.blocks[block.0 as usize].page_state(offset) == PageState::Free {
             return Err(NandError::ReadUnwrittenPage { ppn });
+        }
+        let worn = self.blocks[block.0 as usize].erase_count();
+        if let Some(fault) = &mut self.fault {
+            if fault.read_fails(worn) {
+                self.stats.read_failures += 1;
+                self.stats.read_time += self.timing.page_read_cost();
+                return Err(NandError::ReadFailed { ppn });
+            }
         }
         let cost = self.timing.page_read_cost();
         self.stats.reads += 1;
@@ -155,8 +186,11 @@ impl NandDevice {
     ///
     /// [`NandError::PpnOutOfRange`] for a bad address,
     /// [`NandError::ProgramProgrammedPage`] on erase-before-write violation,
-    /// or [`NandError::ProgramOutOfOrder`] when `ppn` is not the block's
-    /// next sequential page.
+    /// [`NandError::ProgramOutOfOrder`] when `ppn` is not the block's
+    /// next sequential page, or [`NandError::ProgramFailed`] when the
+    /// fault injector fires — the page is then *consumed* (programmed
+    /// and immediately invalid, unusable until the next erase), so a
+    /// retrying FTL makes progress instead of hammering the same page.
     pub fn program(&mut self, ppn: Ppn, lpn: Lpn) -> Result<SimDuration, NandError> {
         self.check_ppn(ppn)?;
         let block_id = self.geometry.block_of(ppn);
@@ -175,6 +209,19 @@ impl NandDevice {
                 }
             }
             Some(_) => {
+                let worn = block.erase_count();
+                if let Some(fault) = &mut self.fault {
+                    if fault.program_fails(worn) {
+                        block.program_next(lpn).expect("offset checked free");
+                        block.invalidate(offset).expect("just programmed");
+                        self.free_total -= 1;
+                        self.invalid_total += 1;
+                        self.stats.program_failures += 1;
+                        self.stats.program_time += self.timing.page_program_cost();
+                        return Err(NandError::ProgramFailed { ppn });
+                    }
+                }
+                let block = &mut self.blocks[block_id.0 as usize];
                 block.program_next(lpn).expect("offset checked free");
                 self.free_total -= 1;
                 self.valid_total += 1;
@@ -190,14 +237,23 @@ impl NandDevice {
     ///
     /// # Errors
     ///
-    /// [`NandError::BlockOutOfRange`] for a bad address, or
+    /// [`NandError::BlockOutOfRange`] for a bad address,
     /// [`NandError::BlockWornOut`] when an endurance limit is configured
-    /// and reached.
+    /// and reached, or [`NandError::EraseFailed`] when the fault injector
+    /// fires — the block keeps its page states and should be retired.
     pub fn erase(&mut self, block: BlockId) -> Result<SimDuration, NandError> {
         self.check_block(block)?;
         if let Some(limit) = self.endurance_limit {
             if self.blocks[block.0 as usize].erase_count() >= limit {
                 return Err(NandError::BlockWornOut { block, limit });
+            }
+        }
+        let worn = self.blocks[block.0 as usize].erase_count();
+        if let Some(fault) = &mut self.fault {
+            if fault.erase_fails(worn) {
+                self.stats.erase_failures += 1;
+                self.stats.erase_time += self.timing.block_erase_cost();
+                return Err(NandError::EraseFailed { block });
             }
         }
         let b = &mut self.blocks[block.0 as usize];

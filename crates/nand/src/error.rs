@@ -56,6 +56,23 @@ pub enum NandError {
         /// The endurance limit that was exceeded.
         limit: u64,
     },
+    /// An injected transient program failure: the page is consumed
+    /// (left unusable until the next erase) but holds no data.
+    ProgramFailed {
+        /// The page whose program operation failed.
+        ppn: Ppn,
+    },
+    /// An injected erase failure: the block did not erase and should be
+    /// retired by the FTL.
+    EraseFailed {
+        /// The block whose erase operation failed.
+        block: BlockId,
+    },
+    /// An injected uncorrectable read: the page's data is beyond ECC.
+    ReadFailed {
+        /// The page whose read came back uncorrectable.
+        ppn: Ppn,
+    },
 }
 
 impl fmt::Display for NandError {
@@ -94,6 +111,15 @@ impl fmt::Display for NandError {
                     f,
                     "block {block} exceeded endurance limit of {limit} erases"
                 )
+            }
+            NandError::ProgramFailed { ppn } => {
+                write!(f, "program of page {ppn} failed (injected wear fault)")
+            }
+            NandError::EraseFailed { block } => {
+                write!(f, "erase of block {block} failed (injected wear fault)")
+            }
+            NandError::ReadFailed { ppn } => {
+                write!(f, "uncorrectable read of page {ppn} (injected wear fault)")
             }
         }
     }
@@ -144,6 +170,9 @@ mod tests {
                 block: BlockId(1),
                 limit: 3_000,
             },
+            NandError::ProgramFailed { ppn: Ppn(1) },
+            NandError::EraseFailed { block: BlockId(1) },
+            NandError::ReadFailed { ppn: Ppn(1) },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

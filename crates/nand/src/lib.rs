@@ -42,6 +42,7 @@ mod address;
 mod block;
 mod device;
 mod error;
+mod fault;
 mod geometry;
 mod stats;
 mod timing;
@@ -50,6 +51,7 @@ pub use address::{BlockId, Lpn, Ppn};
 pub use block::{Block, PageState};
 pub use device::NandDevice;
 pub use error::NandError;
+pub use fault::{FaultConfig, FaultModel};
 pub use geometry::{Geometry, GeometryBuilder};
 pub use stats::{NandStats, WearReport};
 pub use timing::NandTiming;

@@ -25,6 +25,18 @@ pub struct NandStats {
     pub program_time: SimDuration,
     /// Cumulative array time spent erasing.
     pub erase_time: SimDuration,
+    /// Injected transient program failures. Not counted in `programs`
+    /// (which stays the count of pages that hold data), but their array
+    /// time is charged to `program_time` — a failed program still ties
+    /// up the die.
+    pub program_failures: u64,
+    /// Injected erase failures. Not counted in `erases`, so `erases`
+    /// always equals the wear the blocks actually accumulated; the time
+    /// is still charged to `erase_time`.
+    pub erase_failures: u64,
+    /// Injected uncorrectable reads. Not counted in `reads`; time is
+    /// still charged to `read_time` (the transfer happened, ECC failed).
+    pub read_failures: u64,
 }
 
 impl NandStats {

@@ -18,6 +18,7 @@ use std::fmt;
 /// let mut b = SimRng::seed(42);
 /// assert_eq!(a.range_u64(0, 1000), b.range_u64(0, 1000));
 /// ```
+#[derive(Clone)]
 pub struct SimRng {
     state: [u64; 4],
     seed: u64,

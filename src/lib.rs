@@ -11,9 +11,11 @@
 //! * [`workload`] — synthetic benchmark workload generators.
 //! * [`core`] — the paper's contribution: predictors, the JIT-GC manager,
 //!   BGC policies, and the full-system simulation engine.
+//! * [`array`] — striped multi-SSD array layer with GC-aware routing.
 
 #![forbid(unsafe_code)]
 
+pub use jitgc_array as array;
 pub use jitgc_core as core;
 pub use jitgc_ftl as ftl;
 pub use jitgc_nand as nand;

@@ -99,7 +99,8 @@ fn aggregates_are_member_sums() {
         .map(|r| r.nand_pages_programmed)
         .sum();
     assert!(host > 0, "no host writes reached the members");
-    assert!((report.waf - nand as f64 / host as f64).abs() < 1e-12);
+    let waf = report.waf.expect("WAF defined once host writes happened");
+    assert!((waf - nand as f64 / host as f64).abs() < 1e-12);
 }
 
 /// Array sweeps distribute over worker threads without changing results.
