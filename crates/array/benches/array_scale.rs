@@ -57,6 +57,7 @@ fn main() {
             chunk_pages: CHUNK_PAGES,
             redundancy: Redundancy::None,
             gc_mode: mode,
+            member_threads: 1,
             system: system.clone(),
         };
         config.build(|cfg| policy.build(cfg), workload).run()

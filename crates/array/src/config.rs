@@ -22,6 +22,9 @@ pub struct ArrayConfig {
     pub redundancy: Redundancy,
     /// BGC coordination across members.
     pub gc_mode: GcMode,
+    /// Worker threads for parallel member stepping (1 = serial; clamped
+    /// to the member count). Reports are byte-identical for any value.
+    pub member_threads: usize,
     /// Per-member system configuration (identical for every member).
     pub system: SystemConfig,
 }
@@ -91,6 +94,8 @@ impl ArrayConfig {
                 Box::new(stub),
             ));
         }
-        ArrayScheduler::new(members, stripe, self.gc_mode, workload)
+        let mut scheduler = ArrayScheduler::new(members, stripe, self.gc_mode, workload);
+        scheduler.set_member_threads(self.member_threads);
+        scheduler
     }
 }

@@ -41,6 +41,7 @@
 //!     chunk_pages: 16,
 //!     redundancy: Redundancy::None,
 //!     gc_mode: GcMode::Staggered,
+//!     member_threads: 1,
 //!     system: system.clone(),
 //! };
 //! let workload = BenchmarkKind::Ycsb.build(

@@ -103,8 +103,28 @@ impl ArrayManager {
         members: &[SsdSystem],
         issue: SimTime,
     ) -> usize {
-        let a = members[primary].gc_signals();
-        let b = members[replica].gc_signals();
+        self.choose_between(
+            primary,
+            &members[primary],
+            replica,
+            &members[replica],
+            issue,
+        )
+    }
+
+    /// [`choose_replica`](Self::choose_replica) over direct member
+    /// references, for callers (the parallel scheduler) whose members
+    /// live behind per-member locks instead of in one slice.
+    pub fn choose_between(
+        &mut self,
+        primary: usize,
+        primary_system: &SsdSystem,
+        replica: usize,
+        replica_system: &SsdSystem,
+        issue: SimTime,
+    ) -> usize {
+        let a = primary_system.gc_signals();
+        let b = replica_system.gc_signals();
         let chosen = match Self::busyness(&a, issue).cmp(&Self::busyness(&b, issue)) {
             std::cmp::Ordering::Less => primary,
             std::cmp::Ordering::Greater => replica,

@@ -1,11 +1,32 @@
 //! The array's closed-loop request engine.
 
-use crate::{ArrayDegraded, ArrayManager, ArrayReport, GcMode, StripeExtent, StripeMap};
+use crate::{
+    ArrayDegraded, ArrayManager, ArrayReport, GcMode, Redundancy, StripeExtent, StripeMap,
+};
 use jitgc_core::system::{GcSignals, SsdSystem};
 use jitgc_nand::{Lpn, WearReport};
 use jitgc_sim::stats::LatencyRecorder;
 use jitgc_sim::SimTime;
 use jitgc_workload::{IoKind, IoRequest, Workload};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// One member plus its per-quantum mailboxes, owned by a worker thread
+/// during the parallel phase and by the driver (via the lock, always
+/// uncontended at that point) during the serial phase.
+struct Lane {
+    system: SsdSystem,
+    /// Sub-requests for this member in global request order.
+    queue: Vec<(IoRequest, SimTime)>,
+    /// Per-sub results in queue order: completion time and the number of
+    /// uncorrectable pages the step left in `failed_read_lpns`.
+    results: Vec<(SimTime, u64)>,
+}
+
+/// Worker-round opcodes (stored in an `AtomicU8` between barriers).
+const ROUND_STEPS: u8 = 0;
+const ROUND_PREFILL: u8 = 1;
+const ROUND_SHUTDOWN: u8 = 2;
 
 /// Drives N member [`SsdSystem`]s in virtual-time lockstep behind one
 /// logical volume.
@@ -23,11 +44,28 @@ use jitgc_workload::{IoKind, IoRequest, Workload};
 /// identity, the routing is trivial and the member sees the exact request
 /// sequence [`SsdSystem::run`] would have produced — so a 1-member array
 /// reports byte-identical per-device results to the standalone path.
+///
+/// # Parallel member stepping
+///
+/// With [`set_member_threads`](ArrayScheduler::set_member_threads) above
+/// 1, independent members advance concurrently on a persistent worker
+/// pool. Each scheduling quantum — up to `queue_depth` consecutive
+/// requests, whose issue times are all computable up front because the
+/// closed loop deals them to distinct threads — is split into a parallel
+/// step phase (workers drain their members' sub-request queues) and a
+/// serial merge phase (the driver folds completions back into the
+/// schedule in request order). Cross-member decisions — mirrored-read
+/// routing through the [`ArrayManager`] — are serial points that truncate
+/// the quantum. Every member sees the exact call sequence the serial
+/// scheduler would have issued, so reports are byte-identical for any
+/// thread count.
 pub struct ArrayScheduler {
     members: Vec<SsdSystem>,
     stripe: StripeMap,
     manager: ArrayManager,
     workload: Box<dyn Workload>,
+    /// Worker threads for the parallel step phase (1 = serial path).
+    member_threads: usize,
 
     // Closed-loop schedule state, mirroring the single-device engine.
     thread_completion: Vec<SimTime>,
@@ -77,6 +115,7 @@ impl ArrayScheduler {
             stripe,
             manager: ArrayManager::new(gc_mode),
             workload,
+            member_threads: 1,
             thread_completion: vec![SimTime::ZERO; queue_depth],
             next_thread: 0,
             schedule: SimTime::ZERO,
@@ -113,8 +152,42 @@ impl ArrayScheduler {
             total.predictor += p.predictor;
             total.bgc += p.bgc;
             total.reporting += p.reporting;
+            total.gc_copy += p.gc_copy;
         }
         total
+    }
+
+    /// Sets how many worker threads advance members during the parallel
+    /// step phase. Clamped to the member count at run time; 1 (the
+    /// default) keeps everything on the calling thread. Any value
+    /// produces byte-identical reports — the knob trades wall-clock time
+    /// only.
+    pub fn set_member_threads(&mut self, threads: usize) {
+        self.member_threads = threads.max(1);
+    }
+
+    /// The configured worker-thread count for parallel member stepping.
+    #[must_use]
+    pub fn member_threads(&self) -> usize {
+        self.member_threads
+    }
+
+    /// Selects every member's GC migration path: bulk `copy_pages`
+    /// (default) or the per-page loop. Observationally identical — an
+    /// A/B measurement switch (see `Ftl::set_bulk_gc`).
+    pub fn set_bulk_gc(&mut self, enabled: bool) {
+        for member in &mut self.members {
+            member.set_bulk_gc(enabled);
+        }
+    }
+
+    /// Per-member phase profiles, index-aligned with
+    /// [`members`](ArrayScheduler::members) (all zero unless
+    /// [`enable_phase_profiling`](ArrayScheduler::enable_phase_profiling)
+    /// was called before the run).
+    #[must_use]
+    pub fn member_profiles(&self) -> Vec<jitgc_core::system::PhaseProfile> {
+        self.members.iter().map(SsdSystem::phase_profile).collect()
     }
 
     /// Read-only access to the members (for tests and signal polling).
@@ -137,6 +210,17 @@ impl ArrayScheduler {
     /// Panics if any member's FTL signals an unrecoverable condition,
     /// which indicates a misconfigured experiment.
     pub fn run(&mut self) -> ArrayReport {
+        let threads = self.member_threads.min(self.members.len()).max(1);
+        if threads <= 1 {
+            self.run_serial()
+        } else {
+            self.run_parallel(threads)
+        }
+    }
+
+    /// Single-threaded reference loop: one request at a time, exactly the
+    /// closed-loop schedule of the single-device engine.
+    fn run_serial(&mut self) -> ArrayReport {
         self.manager.apply_stagger(&mut self.members);
         if self.members[0].config().prefill {
             for m in &mut self.members {
@@ -153,14 +237,296 @@ impl ArrayScheduler {
             self.latencies.record(completion.saturating_since(issue));
             self.ops += 1;
         }
-        let end = self
-            .thread_completion
+        let end = self.end_time();
+        self.build_report(end)
+    }
+
+    /// Parallel driver: a persistent pool of `threads` scoped workers
+    /// advances members between barriers while this thread owns all
+    /// scheduling, routing and merging.
+    ///
+    /// Protocol per quantum: (serial, workers parked) merge the previous
+    /// round, handle any deferred mirrored read, pull up to `queue_depth`
+    /// requests and deal their sub-requests into member queues with issue
+    /// times computed up front → (parallel) workers step their members'
+    /// queues → repeat. Mirrored reads need a routing decision over live
+    /// member state, so they flush the quantum and run in the serial
+    /// phase; everything else — writes, trims, unmirrored reads — only
+    /// touches its own members and parallelizes freely.
+    fn run_parallel(&mut self, threads: usize) -> ArrayReport {
+        self.manager.apply_stagger(&mut self.members);
+        let do_prefill = self.members[0].config().prefill;
+        let queue_depth = self.thread_completion.len();
+        let lanes: Vec<Mutex<Lane>> = std::mem::take(&mut self.members)
+            .into_iter()
+            .map(|system| {
+                Mutex::new(Lane {
+                    system,
+                    queue: Vec::new(),
+                    results: Vec::new(),
+                })
+            })
+            .collect();
+        let round = AtomicU8::new(ROUND_STEPS);
+        let start = Barrier::new(threads + 1);
+        let finish = Barrier::new(threads + 1);
+
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let (lanes, round) = (&lanes, &round);
+                let (start, finish) = (&start, &finish);
+                scope.spawn(move || loop {
+                    start.wait();
+                    let op = round.load(Ordering::Acquire);
+                    if op == ROUND_SHUTDOWN {
+                        finish.wait();
+                        break;
+                    }
+                    for lane in lanes.iter().skip(worker).step_by(threads) {
+                        let mut lane = lane.lock().expect("a member panicked");
+                        let lane = &mut *lane;
+                        if op == ROUND_PREFILL {
+                            lane.system.prefill();
+                            continue;
+                        }
+                        for i in 0..lane.queue.len() {
+                            let (sub, issue) = lane.queue[i];
+                            let completion = lane.system.step(sub, issue);
+                            let failed = lane.system.failed_read_lpns().len() as u64;
+                            lane.results.push((completion, failed));
+                        }
+                        lane.queue.clear();
+                    }
+                    finish.wait();
+                });
+            }
+
+            let run_round = |op: u8| {
+                round.store(op, Ordering::Release);
+                start.wait();
+                finish.wait();
+            };
+            if do_prefill {
+                run_round(ROUND_PREFILL);
+            }
+
+            // Quantum state, reused across rounds.
+            let mut quantum: Vec<(usize, SimTime)> = Vec::with_capacity(queue_depth);
+            let mut subs: Vec<(usize, usize, bool)> = Vec::new();
+            let mut cursors = vec![0usize; lanes.len()];
+            let mut completions: Vec<SimTime> = Vec::with_capacity(queue_depth);
+            let mut pending: Option<IoRequest> = None;
+            let mut exhausted = false;
+            loop {
+                {
+                    // Serial phase. Workers are parked at the start
+                    // barrier, so every lock below is uncontended; holding
+                    // all guards gives the same indexed member access the
+                    // serial scheduler has.
+                    let mut guards: Vec<MutexGuard<'_, Lane>> = lanes
+                        .iter()
+                        .map(|l| l.lock().expect("a member panicked"))
+                        .collect();
+                    if !quantum.is_empty() {
+                        self.merge_quantum(
+                            &mut guards,
+                            &quantum,
+                            &subs,
+                            &mut cursors,
+                            &mut completions,
+                        );
+                        quantum.clear();
+                        subs.clear();
+                    }
+                    if let Some(req) = pending.take() {
+                        self.dispatch_mirrored_read(req, &mut guards);
+                    }
+                    while !exhausted && quantum.len() < queue_depth {
+                        let Some(req) = self.workload.next_request() else {
+                            exhausted = true;
+                            break;
+                        };
+                        if req.kind == IoKind::Read
+                            && self.stripe.redundancy() == Redundancy::Mirror
+                        {
+                            if quantum.is_empty() {
+                                self.dispatch_mirrored_read(req, &mut guards);
+                            } else {
+                                // Routing must see the quantum's effects:
+                                // flush it, handle the read next round.
+                                pending = Some(req);
+                                break;
+                            }
+                        } else {
+                            self.enqueue_sub_requests(req, &mut guards, &mut quantum, &mut subs);
+                        }
+                    }
+                }
+                if quantum.is_empty() {
+                    // Nothing left to step in parallel: pending is only
+                    // ever set alongside a non-empty quantum, so this
+                    // means the workload is exhausted and fully merged.
+                    break;
+                }
+                run_round(ROUND_STEPS);
+            }
+            run_round(ROUND_SHUTDOWN);
+        });
+
+        self.members = lanes
+            .into_iter()
+            .map(|l| l.into_inner().expect("a member panicked").system)
+            .collect();
+        let end = self.end_time();
+        self.build_report(end)
+    }
+
+    /// Assigns `req` its closed-loop thread and issue time, then deals
+    /// one sub-request per touched member (both replicas for mirrored
+    /// writes/trims) into the member queues for the next parallel round.
+    fn enqueue_sub_requests(
+        &mut self,
+        req: IoRequest,
+        guards: &mut [MutexGuard<'_, Lane>],
+        // (thread, issue) per logical request, in request order.
+        quantum: &mut Vec<(usize, SimTime)>,
+        // (request index, member, counts-lost-pages) per sub-request.
+        subs: &mut Vec<(usize, usize, bool)>,
+    ) {
+        let thread = self.next_thread;
+        self.next_thread = (self.next_thread + 1) % self.thread_completion.len();
+        let issue = self.thread_completion[thread] + req.gap;
+        self.schedule = self.schedule.max(issue);
+        let req_idx = quantum.len();
+        quantum.push((thread, issue));
+        self.sub_scratch.clear();
+        self.stripe
+            .split(req.lpn.0, req.pages, &mut self.sub_scratch);
+        if self.sub_scratch.len() > 1 {
+            self.split_requests += 1;
+        }
+        for i in 0..self.sub_scratch.len() {
+            let extent = self.sub_scratch[i];
+            let (primary, replica) = self.stripe.devices_of(extent.column);
+            let sub = IoRequest {
+                gap: req.gap,
+                kind: req.kind,
+                lpn: Lpn(extent.member_lpn),
+                pages: extent.pages,
+            };
+            guards[primary].queue.push((sub, issue));
+            // An unmirrored read's uncorrectable pages are lost (counted
+            // at merge); mirrored reads never reach this path.
+            subs.push((
+                req_idx,
+                primary,
+                req.kind == IoKind::Read && replica.is_none(),
+            ));
+            if let Some(replica) = replica {
+                guards[replica].queue.push((sub, issue));
+                subs.push((req_idx, replica, false));
+            }
+        }
+    }
+
+    /// Folds a finished parallel round back into the closed-loop schedule
+    /// in request order: logical completion = slowest sub-request, then
+    /// thread completion / latency / op accounting exactly as the serial
+    /// loop performs per request.
+    fn merge_quantum(
+        &mut self,
+        guards: &mut [MutexGuard<'_, Lane>],
+        quantum: &[(usize, SimTime)],
+        subs: &[(usize, usize, bool)],
+        cursors: &mut [usize],
+        completions: &mut Vec<SimTime>,
+    ) {
+        cursors.fill(0);
+        completions.clear();
+        completions.extend(quantum.iter().map(|&(_, issue)| issue));
+        for &(req_idx, member, counts_lost) in subs {
+            // Each lane's results are in its queue order, which is the
+            // order its subs were dealt — a per-member cursor aligns them.
+            let (done, failed) = guards[member].results[cursors[member]];
+            cursors[member] += 1;
+            completions[req_idx] = completions[req_idx].max(done);
+            if counts_lost {
+                self.lost_pages += failed;
+            }
+        }
+        for lane in guards.iter_mut() {
+            lane.results.clear();
+        }
+        for (&(thread, issue), &completion) in quantum.iter().zip(completions.iter()) {
+            self.thread_completion[thread] = completion;
+            self.latencies.record(completion.saturating_since(issue));
+            self.ops += 1;
+        }
+    }
+
+    /// Serial-phase handler for a mirrored read: the replica choice reads
+    /// both members' live GC signals, so it cannot overlap other work.
+    /// Mirrors the `(IoKind::Read, Some(replica))` arm of
+    /// [`dispatch`](Self::dispatch) exactly, over locked lanes.
+    fn dispatch_mirrored_read(&mut self, req: IoRequest, guards: &mut [MutexGuard<'_, Lane>]) {
+        let thread = self.next_thread;
+        self.next_thread = (self.next_thread + 1) % self.thread_completion.len();
+        let issue = self.thread_completion[thread] + req.gap;
+        self.schedule = self.schedule.max(issue);
+        self.sub_scratch.clear();
+        self.stripe
+            .split(req.lpn.0, req.pages, &mut self.sub_scratch);
+        if self.sub_scratch.len() > 1 {
+            self.split_requests += 1;
+        }
+        let mut completion = issue;
+        for i in 0..self.sub_scratch.len() {
+            let extent = self.sub_scratch[i];
+            let (primary, replica) = self.stripe.devices_of(extent.column);
+            let replica = replica.expect("mirrored read dispatched without a replica");
+            let sub = IoRequest {
+                gap: req.gap,
+                kind: req.kind,
+                lpn: Lpn(extent.member_lpn),
+                pages: extent.pages,
+            };
+            guards[primary].system.advance_to(issue);
+            guards[replica].system.advance_to(issue);
+            let device = self.manager.choose_between(
+                primary,
+                &guards[primary].system,
+                replica,
+                &guards[replica].system,
+                issue,
+            );
+            let mut done = guards[device].system.step(sub, issue);
+            if !guards[device].system.failed_read_lpns().is_empty() {
+                self.retry_scratch.clear();
+                self.retry_scratch
+                    .extend_from_slice(guards[device].system.failed_read_lpns());
+                let other = if device == primary { replica } else { primary };
+                let (repaired_at, still_failed) = guards[other]
+                    .system
+                    .recovery_read(&self.retry_scratch, issue);
+                done = done.max(repaired_at);
+                self.recovered_pages += self.retry_scratch.len() as u64 - still_failed;
+                self.lost_pages += still_failed;
+            }
+            completion = completion.max(done);
+        }
+        self.thread_completion[thread] = completion;
+        self.latencies.record(completion.saturating_since(issue));
+        self.ops += 1;
+    }
+
+    /// The run's end time: the last thread completion or scheduled issue.
+    fn end_time(&self) -> SimTime {
+        self.thread_completion
             .iter()
             .copied()
             .max()
             .unwrap_or(SimTime::ZERO)
-            .max(self.schedule);
-        self.build_report(end)
+            .max(self.schedule)
     }
 
     /// Splits one logical request, fans the sub-requests out to their

@@ -33,6 +33,7 @@ fn array_report(members: usize, redundancy: Redundancy, gc_mode: GcMode, seed: u
         chunk_pages: 16,
         redundancy,
         gc_mode,
+        member_threads: 1,
         system: system.clone(),
     };
     config

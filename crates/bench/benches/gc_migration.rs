@@ -1,0 +1,101 @@
+//! Micro-benchmark of the GC migration path: the per-page migrate loop
+//! versus the bulk `copy_pages` path, at three victim-utilization levels.
+//!
+//! Victim utilization controls the work mix of each collection — a
+//! 90 %-valid victim migrates nine times the pages of a 10 %-valid one
+//! before its erase — so the three levels probe the bulk path's
+//! amortization (one FTL↔device dispatch per GC-block chunk instead of a
+//! read + program + invalidate round trip per page) across
+//! migration-heavy and erase-heavy regimes. Both variants run the
+//! identical foreground-GC workload; only `Ftl::set_bulk_gc` differs.
+//! Run with `cargo bench -p jitgc-bench --bench gc_migration`.
+
+use jitgc_ftl::{Ftl, FtlConfig, GreedySelector};
+use jitgc_nand::Lpn;
+use jitgc_sim::{SimRng, SimTime};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs `routine` on fresh `setup()` state until ~0.5 s of measured time
+/// accumulates and prints the mean per-iteration latency.
+fn bench_batched<S, R, T>(name: &str, mut setup: S, mut routine: R)
+where
+    S: FnMut() -> T,
+    R: FnMut(&mut T),
+{
+    // One warm-up iteration, untimed (fills allocator pools, warms caches).
+    let mut state = setup();
+    routine(&mut state);
+
+    let target = Duration::from_millis(500);
+    let mut spent = Duration::ZERO;
+    let mut iters = 0u64;
+    while spent < target {
+        let mut state = setup();
+        let start = Instant::now();
+        routine(black_box(&mut state));
+        spent += start.elapsed();
+        iters += 1;
+    }
+    let mean = spent.as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} µs/iter  ({iters} iters)", mean * 1e6);
+}
+
+const USER_PAGES: u64 = 4_096;
+
+/// An aged device whose GC victims sit near the requested utilization:
+/// a sequential fill seals every block fully valid, then overwriting a
+/// deterministic `invalid_permille` stripe of the LPN space punches that
+/// fraction of holes into the early blocks — which greedy selection will
+/// pick as victims.
+fn aged_ftl(invalid_permille: u64) -> Ftl {
+    let mut ftl = Ftl::new(
+        FtlConfig::builder()
+            .user_pages(USER_PAGES)
+            .op_permille(150)
+            .pages_per_block(64)
+            .build(),
+        Box::new(GreedySelector),
+    );
+    for lpn in 0..USER_PAGES {
+        ftl.host_write(Lpn(lpn), SimTime::ZERO).expect("in range");
+    }
+    for lpn in 0..USER_PAGES {
+        if lpn % 1_000 < invalid_permille {
+            ftl.host_write(Lpn(lpn), SimTime::from_millis(1))
+                .expect("in range");
+        }
+    }
+    ftl
+}
+
+/// 2 048 random overwrites on a full device: every free-pool refill goes
+/// through foreground GC, i.e. through `collect_block`.
+fn churn(ftl: &mut Ftl) {
+    let mut rng = SimRng::seed(29);
+    for _ in 0..2_048 {
+        let lpn = rng.range_u64(0, USER_PAGES);
+        ftl.host_write(Lpn(lpn), SimTime::from_secs(1))
+            .expect("in range");
+    }
+}
+
+fn main() {
+    // (invalid ‰ of the LPN space, victim validity it leaves behind)
+    for (invalid_permille, tag) in [(750, "u25"), (500, "u50"), (100, "u90")] {
+        bench_batched(
+            &format!("gc_migrate_looped_{tag}"),
+            || {
+                let mut ftl = aged_ftl(invalid_permille);
+                ftl.set_bulk_gc(false);
+                ftl
+            },
+            churn,
+        );
+        bench_batched(
+            &format!("gc_migrate_bulk_{tag}"),
+            || aged_ftl(invalid_permille),
+            churn,
+        );
+    }
+}

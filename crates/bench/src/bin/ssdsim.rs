@@ -41,8 +41,9 @@
 //!   --bench-json <path>    also write a machine-readable perf record (host
 //!                          pages simulated per wall-clock second, per-phase
 //!                          timing) for tracking simulator throughput; the
-//!                          record schema is `ssdsim-bench/4` (array runs
-//!                          add an `array` section plus per-member entries)
+//!                          record schema is `ssdsim-bench/5` (array runs
+//!                          add an `array` section plus per-member entries
+//!                          with their own `phase_*_secs` breakdowns)
 //!   --array <N>            simulate an N-member striped array instead of a
 //!                          single device (`--array 1` reproduces the
 //!                          single-device reports exactly); workload working
@@ -54,11 +55,18 @@
 //!   --gc-mode <staggered|unsync>
 //!                          stagger member flusher/BGC phases or leave them
 //!                          aligned                          (default staggered)
+//!   --member-threads <N>   worker threads stepping array members in
+//!                          parallel (clamped to the member count); reports
+//!                          are byte-identical for any value    (default 1)
+//!   --gc-migration <bulk|looped>
+//!                          GC migration path: vectorized copy_pages or the
+//!                          per-page loop; observationally identical, an
+//!                          A/B measurement switch      (default bulk)
 //!   --queue-depth <N>      closed-loop application threads  (default: config)
 //! ```
 
 use jitgc_array::{ArrayConfig, ArrayReport, GcMode, Redundancy};
-use jitgc_bench::{default_threads, run_grid, PolicyKind};
+use jitgc_bench::{default_threads, run_grid, run_grid_capped, PolicyKind};
 use jitgc_core::system::{ManagerPlacement, PhaseProfile, SsdSystem, SystemConfig, VictimKind};
 use jitgc_nand::FaultConfig;
 use jitgc_sim::json::{JsonValue, ObjectBuilder};
@@ -95,6 +103,8 @@ struct Args {
     stripe_kb: u64,
     mirror: bool,
     gc_mode: GcMode,
+    member_threads: usize,
+    bulk_gc: bool,
     queue_depth: Option<u32>,
 }
 
@@ -128,6 +138,8 @@ impl Default for Args {
             stripe_kb: 64,
             mirror: false,
             gc_mode: GcMode::Staggered,
+            member_threads: 1,
+            bulk_gc: true,
             queue_depth: None,
         }
     }
@@ -146,7 +158,8 @@ fn usage() -> ! {
     eprintln!("              [--endurance N] [--fault-seed N] [--fault-program F]");
     eprintln!("              [--fault-erase F] [--fault-read F]");
     eprintln!("              [--array N] [--stripe-kb K] [--mirror]");
-    eprintln!("              [--gc-mode staggered|unsync] [--queue-depth N]");
+    eprintln!("              [--gc-mode staggered|unsync] [--member-threads N]");
+    eprintln!("              [--gc-migration bulk|looped] [--queue-depth N]");
     eprintln!("see the module docs (`ssdsim.rs`) for value sets");
     std::process::exit(2)
 }
@@ -249,6 +262,23 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--member-threads" => {
+                args.member_threads = value().parse().unwrap_or_else(|_| usage());
+                if args.member_threads == 0 {
+                    eprintln!("--member-threads must be at least 1");
+                    usage()
+                }
+            }
+            "--gc-migration" => {
+                args.bulk_gc = match value().as_str() {
+                    "bulk" => true,
+                    "looped" => false,
+                    other => {
+                        eprintln!("unknown gc migration path: {other}");
+                        usage()
+                    }
+                }
+            }
             "--queue-depth" => args.queue_depth = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
@@ -281,7 +311,7 @@ fn perf_record(
     // workload generation and closed-loop scheduling).
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/4")
+        .field("schema", "ssdsim-bench/5")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.victim_policy.as_str())
@@ -324,19 +354,24 @@ fn perf_record(
         .field("phase_predictor_secs", profile.predictor.as_secs_f64())
         .field("phase_bgc_secs", profile.bgc.as_secs_f64())
         .field("phase_reporting_secs", profile.reporting.as_secs_f64())
+        // Schema 5: the GC copy sub-phase (contained in the phases above,
+        // excluded from the untracked remainder computation).
+        .field("phase_gc_copy_secs", profile.gc_copy.as_secs_f64())
         .field("phase_untracked_secs", untracked)
         .build()
 }
 
-/// The `--bench-json` perf record of an array run (`ssdsim-bench/4`):
+/// The `--bench-json` perf record of an array run (`ssdsim-bench/5`):
 /// the aggregate throughput fields of [`perf_record`] plus an `array`
-/// section and one page-count entry per member.
+/// section and one entry per member with its page counts and per-phase
+/// wall-clock breakdown.
 fn array_perf_record(
     args: &Args,
     report: &ArrayReport,
     setup_secs: f64,
     run_secs: f64,
     profile: &PhaseProfile,
+    member_profiles: &[PhaseProfile],
 ) -> JsonValue {
     let wall_secs = setup_secs + run_secs;
     let per_sec = |count: u64| -> f64 {
@@ -359,18 +394,29 @@ fn array_perf_record(
     let members: Vec<JsonValue> = report
         .member_reports
         .iter()
-        .map(|r| {
+        .zip(member_profiles)
+        .map(|(r, p)| {
             ObjectBuilder::new()
                 .field("ops", r.ops)
                 .field("host_pages_written", r.host_pages_written)
                 .field("nand_pages_programmed", r.nand_pages_programmed)
                 .field("nand_erases", r.nand_erases)
+                // Schema 5: where this member's simulation time went.
+                .field(
+                    "phase_request_execution_secs",
+                    p.request_execution.as_secs_f64(),
+                )
+                .field("phase_flush_secs", p.flush.as_secs_f64())
+                .field("phase_predictor_secs", p.predictor.as_secs_f64())
+                .field("phase_bgc_secs", p.bgc.as_secs_f64())
+                .field("phase_reporting_secs", p.reporting.as_secs_f64())
+                .field("phase_gc_copy_secs", p.gc_copy.as_secs_f64())
                 .build()
         })
         .collect();
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/4")
+        .field("schema", "ssdsim-bench/5")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.member_reports[0].victim_policy.as_str())
@@ -406,7 +452,10 @@ fn array_perf_record(
         .field("phase_predictor_secs", profile.predictor.as_secs_f64())
         .field("phase_bgc_secs", profile.bgc.as_secs_f64())
         .field("phase_reporting_secs", profile.reporting.as_secs_f64())
+        .field("phase_gc_copy_secs", profile.gc_copy.as_secs_f64())
         .field("phase_untracked_secs", untracked)
+        // Schema 5: the parallel-stepping width (1 = serial scheduler).
+        .field("member_threads", args.member_threads as u64)
         .field(
             "array",
             ObjectBuilder::new()
@@ -463,32 +512,55 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         args.threads
     };
     let profile_phases = args.bench_json.is_some();
-    let runs = run_grid(&args.benchmarks, threads, |&benchmark| {
-        let setup_start = Instant::now();
-        let workload = benchmark.build(workload_config);
-        let config = ArrayConfig {
-            members,
-            chunk_pages,
-            redundancy,
-            gc_mode: args.gc_mode,
-            system: system.clone(),
-        };
-        let mut sim = config.build(|cfg| policy.build(cfg), workload);
-        if profile_phases {
-            sim.enable_phase_profiling();
-        }
-        let setup_secs = setup_start.elapsed().as_secs_f64();
-        let run_start = Instant::now();
-        let report = sim.run();
-        let run_secs = run_start.elapsed().as_secs_f64();
-        (report, setup_secs, run_secs, sim.phase_profile())
-    });
+    // Member stepping uses `member_threads` workers *inside* each run, so
+    // cap the sweep width to keep the product within the machine.
+    let runs = run_grid_capped(
+        &args.benchmarks,
+        threads,
+        args.member_threads,
+        |&benchmark| {
+            let setup_start = Instant::now();
+            let workload = benchmark.build(workload_config);
+            let config = ArrayConfig {
+                members,
+                chunk_pages,
+                redundancy,
+                gc_mode: args.gc_mode,
+                member_threads: args.member_threads,
+                system: system.clone(),
+            };
+            let mut sim = config.build(|cfg| policy.build(cfg), workload);
+            sim.set_bulk_gc(args.bulk_gc);
+            if profile_phases {
+                sim.enable_phase_profiling();
+            }
+            let setup_secs = setup_start.elapsed().as_secs_f64();
+            let run_start = Instant::now();
+            let report = sim.run();
+            let run_secs = run_start.elapsed().as_secs_f64();
+            let member_profiles = sim.member_profiles();
+            (
+                report,
+                setup_secs,
+                run_secs,
+                sim.phase_profile(),
+                member_profiles,
+            )
+        },
+    );
 
     if let Some(path) = &args.bench_json {
         let records: Vec<JsonValue> = runs
             .iter()
-            .map(|(report, setup_secs, run_secs, profile)| {
-                array_perf_record(args, report, *setup_secs, *run_secs, profile)
+            .map(|(report, setup_secs, run_secs, profile, member_profiles)| {
+                array_perf_record(
+                    args,
+                    report,
+                    *setup_secs,
+                    *run_secs,
+                    profile,
+                    member_profiles,
+                )
             })
             .collect();
         let text = if records.len() == 1 {
@@ -501,7 +573,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     }
 
     if args.json {
-        let reports: Vec<JsonValue> = runs.iter().map(|(r, _, _, _)| r.to_json()).collect();
+        let reports: Vec<JsonValue> = runs.iter().map(|(r, _, _, _, _)| r.to_json()).collect();
         let text = if reports.len() == 1 {
             reports[0].to_pretty()
         } else {
@@ -516,7 +588,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
             "{:<12}{:>10}{:>8}{:>10}{:>10}{:>12}{:>12}",
             "benchmark", "IOPS", "WAF", "FGC", "BGC blk", "p99 µs", "p999 µs"
         );
-        for (report, _, _, _) in &runs {
+        for (report, _, _, _, _) in &runs {
             println!(
                 "{:<12}{:>10.0}{:>8}{:>10}{:>10}{:>12}{:>12}",
                 report.workload,
@@ -530,7 +602,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         }
         return;
     }
-    let (report, _, _, _) = runs.into_iter().next().expect("one benchmark ran");
+    let (report, _, _, _, _) = runs.into_iter().next().expect("one benchmark ran");
     println!(
         "array           {} members, {} KiB chunks, {}, {}",
         report.members, args.stripe_kb, report.redundancy, report.gc_mode
@@ -682,11 +754,13 @@ fn main() {
         args.threads
     };
     let profile_phases = args.bench_json.is_some();
+    let bulk_gc = args.bulk_gc;
     let runs = run_grid(&args.benchmarks, threads, |&benchmark| {
         let setup_start = Instant::now();
         let workload = benchmark.build(workload_config);
         let policy = policy.build(&system);
         let mut sim = SsdSystem::new(system.clone(), policy, workload);
+        sim.set_bulk_gc(bulk_gc);
         if profile_phases {
             sim.enable_phase_profiling();
         }

@@ -44,6 +44,47 @@ where
     R: Send,
     F: Fn(&C) -> R + Sync,
 {
+    run_grid_inner(configs, n_threads, run)
+}
+
+/// [`run_grid`] for scenarios that are themselves multi-threaded — array
+/// runs stepping members on `threads_per_run` workers each. The sweep
+/// width is capped so `sweep threads × threads-per-run` never exceeds
+/// [`available_parallelism`](std::thread::available_parallelism):
+/// without the cap a `--benchmark all --array 8 --member-threads 4`
+/// sweep would put dozens of compute-bound threads on a handful of
+/// cores and thrash instead of speeding up. A cap below the requested
+/// width is logged to stderr. Results are unaffected — every scenario
+/// (and every member step schedule inside it) is deterministic for any
+/// thread count.
+pub fn run_grid_capped<C, R, F>(
+    configs: &[C],
+    n_threads: usize,
+    threads_per_run: usize,
+    run: F,
+) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    let cores = default_threads();
+    let cap = (cores / threads_per_run.max(1)).max(1);
+    if cap < n_threads.min(configs.len()).max(1) {
+        eprintln!(
+            "run_grid: capping sweep width {n_threads} -> {cap} \
+             ({threads_per_run} member threads per run, {cores} cores)"
+        );
+    }
+    run_grid_inner(configs, n_threads.min(cap), run)
+}
+
+fn run_grid_inner<C, R, F>(configs: &[C], n_threads: usize, run: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
     let n_threads = n_threads.min(configs.len()).max(1);
     if n_threads == 1 {
         return configs.iter().map(run).collect();

@@ -55,7 +55,10 @@ pub struct PolicyDecision {
 }
 
 /// Strategy for scheduling background garbage collection.
-pub trait GcPolicy {
+///
+/// `Send` so a whole [`SsdSystem`](crate::system::SsdSystem) — policy
+/// included — can be stepped on an array worker thread.
+pub trait GcPolicy: Send {
     /// Display name ("L-BGC", "A-BGC", "ADP-GC", "JIT-GC", …).
     fn name(&self) -> &'static str;
 

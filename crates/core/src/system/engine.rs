@@ -125,6 +125,14 @@ pub struct SsdSystem {
     profile: PhaseProfile,
 }
 
+// Whole systems move across array worker threads between scheduling
+// quanta; keep the guarantee compile-time so a non-`Send` field (or trait
+// object bound) fails here and not deep inside the scheduler.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SsdSystem>()
+};
+
 impl SsdSystem {
     /// Builds a system from its three parts.
     #[must_use]
@@ -204,14 +212,18 @@ impl SsdSystem {
     /// simulated behaviour; reports stay identical either way.
     pub fn enable_phase_profiling(&mut self) {
         self.profile_enabled = true;
+        self.ftl.enable_gc_copy_profiling();
     }
 
     /// The accumulated per-phase wall-clock breakdown (all zero unless
     /// [`enable_phase_profiling`](SsdSystem::enable_phase_profiling) was
-    /// called before [`run`](SsdSystem::run)).
+    /// called before [`run`](SsdSystem::run)). The `gc_copy` sub-phase is
+    /// collected inside the FTL and merged here.
     #[must_use]
     pub fn phase_profile(&self) -> PhaseProfile {
-        self.profile
+        let mut profile = self.profile;
+        profile.gc_copy = self.ftl.gc_copy_wall();
+        profile
     }
 
     fn timer(&self) -> Option<std::time::Instant> {
@@ -785,6 +797,13 @@ impl SsdSystem {
     #[must_use]
     pub fn ftl(&self) -> &Ftl {
         &self.ftl
+    }
+
+    /// Selects the GC migration path: bulk `copy_pages` (default) or the
+    /// per-page loop it replaced. Observationally identical — the switch
+    /// exists for A/B measurement (see `Ftl::set_bulk_gc`).
+    pub fn set_bulk_gc(&mut self, enabled: bool) {
+        self.ftl.set_bulk_gc(enabled);
     }
 
     /// LPNs of the most recent request whose flash read came back

@@ -23,11 +23,18 @@ pub struct PhaseProfile {
     pub bgc: Duration,
     /// Final report construction.
     pub reporting: Duration,
+    /// Full-block GC copy work inside the FTL (foreground collections and
+    /// wear-leveling relocations). **Sub-phase**: this time is already
+    /// contained in `request_execution`/`flush`/`bgc`, so it is excluded
+    /// from [`accounted`](Self::accounted); it isolates the cost the
+    /// batched `copy_pages` migration path attacks.
+    pub gc_copy: Duration,
 }
 
 impl PhaseProfile {
     /// Total time attributed to a phase (the remainder up to the run's
     /// wall time is untracked glue: workload generation, scheduling).
+    /// `gc_copy` is a sub-phase of the top-level phases and not summed.
     #[must_use]
     pub fn accounted(&self) -> Duration {
         self.request_execution + self.flush + self.predictor + self.bgc + self.reporting

@@ -153,6 +153,22 @@ pub struct Ftl {
     /// reused across batches (a mirror layer reads these back from the
     /// surviving replica).
     failed_reads: Vec<Lpn>,
+    /// Full-block collections use the batched
+    /// [`copy_pages`](NandDevice::copy_pages) path when set (the
+    /// default); cleared for A/B comparisons against the per-page loop.
+    /// Both paths produce byte-identical state — debug builds assert it
+    /// on every collection.
+    bulk_gc: bool,
+    /// Scratch for the bulk path's victim snapshot, reused across
+    /// collections so the steady state allocates nothing.
+    gc_snapshot: Vec<(Ppn, Lpn)>,
+    /// Scratch for the destination PPNs a bulk copy reports back.
+    gc_dst_scratch: Vec<Ppn>,
+    /// Opt-in wall-clock accounting of full-block GC copy work (surfaced
+    /// as the engine's `gc_copy` profile phase); measurement only, never
+    /// feeds back into simulated behaviour.
+    gc_copy_enabled: bool,
+    gc_copy_wall: std::time::Duration,
     stats: FtlStats,
 }
 
@@ -190,6 +206,11 @@ impl Ftl {
             retired_pages: 0,
             degrade_events: Vec::new(),
             failed_reads: Vec::new(),
+            bulk_gc: true,
+            gc_snapshot: Vec::new(),
+            gc_dst_scratch: Vec::new(),
+            gc_copy_enabled: false,
+            gc_copy_wall: std::time::Duration::ZERO,
             stats: FtlStats::default(),
             device,
             config,
@@ -642,7 +663,42 @@ impl Ftl {
     }
 
     /// Migrates every remaining valid page out of `victim` and erases it.
+    ///
+    /// Dispatches to the batched [`copy_pages`](NandDevice::copy_pages)
+    /// path (default) or the per-page reference loop; both produce
+    /// byte-identical state and debug builds assert it on every call by
+    /// replaying the collection on a cloned shadow FTL.
     fn collect_block(
+        &mut self,
+        victim: BlockId,
+        now: SimTime,
+    ) -> Result<(SimDuration, u64), FtlError> {
+        #[cfg(debug_assertions)]
+        let shadow = self.bulk_gc.then(|| self.oracle_shadow());
+        let t0 = self.gc_copy_enabled.then(std::time::Instant::now);
+        let result = if self.bulk_gc {
+            self.collect_block_bulk(victim, now)
+        } else {
+            self.collect_block_looped(victim, now)
+        };
+        if let Some(t0) = t0 {
+            self.gc_copy_wall += t0.elapsed();
+        }
+        #[cfg(debug_assertions)]
+        if let Some(mut shadow) = shadow {
+            let expected = shadow.collect_block_looped(victim, now);
+            self.assert_matches_oracle(&shadow, &expected, &result);
+        }
+        result
+    }
+
+    /// Per-page reference implementation of [`collect_block`]: one
+    /// read/program/invalidate round-trip per surviving page. Kept as the
+    /// equivalence oracle for the bulk path and selectable at runtime via
+    /// [`set_bulk_gc`](Self::set_bulk_gc) for A/B benchmarking.
+    ///
+    /// [`collect_block`]: Self::collect_block
+    fn collect_block_looped(
         &mut self,
         victim: BlockId,
         now: SimTime,
@@ -670,6 +726,231 @@ impl Ftl {
             duration += took;
         }
         Ok((duration, migrated))
+    }
+
+    /// Batched implementation of [`collect_block`]: snapshot the victim's
+    /// valid pages once, then relocate them in destination-block-sized
+    /// chunks through [`NandDevice::copy_pages`], applying mapping / SIP /
+    /// recency updates per chunk instead of per page. Device operations
+    /// (and therefore fault-model RNG draws, timings and counters) happen
+    /// in exactly the order the per-page loop issues them.
+    ///
+    /// [`collect_block`]: Self::collect_block
+    fn collect_block_bulk(
+        &mut self,
+        victim: BlockId,
+        now: SimTime,
+    ) -> Result<(SimDuration, u64), FtlError> {
+        debug_assert!(!self.is_free[victim.0 as usize], "victim must be in use");
+        debug_assert!(
+            self.active_user != Some(victim) && self.active_gc != Some(victim),
+            "victim must not be an active block"
+        );
+        let mut snapshot = std::mem::take(&mut self.gc_snapshot);
+        snapshot.clear();
+        {
+            let geometry = self.device.geometry();
+            let block = self.device.block(victim);
+            snapshot.extend(
+                block
+                    .valid_lpns()
+                    .map(|(offset, lpn)| (geometry.ppn(victim, offset), lpn)),
+            );
+        }
+        let outcome = self.bulk_copy_out(victim, &snapshot, now);
+        self.gc_snapshot = snapshot;
+        let (mut duration, migrated) = outcome?;
+        debug_assert_eq!(
+            self.sip_counts[victim.0 as usize], 0,
+            "erased block retains SIP-listed valid pages"
+        );
+        if let Some(took) = self.erase_or_retire(victim, now) {
+            duration += took;
+        }
+        Ok((duration, migrated))
+    }
+
+    /// Copies every `snapshot` page out of `victim` into the GC write
+    /// stream, one [`copy_pages`](NandDevice::copy_pages) call per
+    /// destination block.
+    ///
+    /// The per-page loop interleaves each source read with GC-block
+    /// allocation (read first, then allocate on demand), so the chunk
+    /// boundary protocol mirrors that: the first read of each chunk is
+    /// issued *before* ensuring a destination block, and a chunk that
+    /// fills its destination mid-copy reports `pending_read` so the
+    /// already-read source page is not re-read (nor its fault re-drawn)
+    /// after the next block is opened.
+    fn bulk_copy_out(
+        &mut self,
+        victim: BlockId,
+        snapshot: &[(Ppn, Lpn)],
+        now: SimTime,
+    ) -> Result<(SimDuration, u64), FtlError> {
+        let mut duration = SimDuration::ZERO;
+        let mut migrated = 0u64;
+        let mut idx = 0usize;
+        let mut pending_read = false;
+        while idx < snapshot.len() {
+            if !pending_read {
+                duration += self.gc_source_read(snapshot[idx].0)?;
+            }
+            let gc_block = self.ensure_active_gc_block()?;
+            let mut dsts = std::mem::take(&mut self.gc_dst_scratch);
+            dsts.clear();
+            let copied = self
+                .device
+                .copy_pages(&snapshot[idx..], gc_block, true, &mut dsts);
+            let out = match copied {
+                Ok(out) => out,
+                Err(e) => {
+                    self.gc_dst_scratch = dsts;
+                    return Err(e.into());
+                }
+            };
+            debug_assert!(
+                !self.victim_index.is_tracked(victim),
+                "migrating pages out of a block still tracked as a candidate"
+            );
+            for (k, &new_ppn) in dsts.iter().enumerate() {
+                let lpn = snapshot[idx + k].1;
+                self.mapping[lpn.0 as usize] = Some(new_ppn);
+                if self.sip.contains(lpn) {
+                    self.sip_counts[victim.0 as usize] =
+                        self.sip_counts[victim.0 as usize].saturating_sub(1);
+                    self.sip_counts[gc_block.0 as usize] += 1;
+                }
+            }
+            self.gc_dst_scratch = dsts;
+            if out.copied > 0 {
+                self.last_write[gc_block.0 as usize] = now;
+            }
+            self.stats.gc_read_failures += out.read_failures;
+            self.stats.program_retries += out.program_retries;
+            self.stats.gc_pages_migrated += out.copied as u64;
+            duration += out.duration;
+            migrated += out.copied as u64;
+            idx += out.copied;
+            pending_read = out.pending_read;
+        }
+        Ok((duration, migrated))
+    }
+
+    /// One GC source read with uncorrectable-read salvage, exactly as the
+    /// per-page loop performs it (see [`migrate_page`](Self::migrate_page)
+    /// for why errored data is relocated anyway).
+    fn gc_source_read(&mut self, ppn: Ppn) -> Result<SimDuration, FtlError> {
+        match self.device.read(ppn) {
+            Ok(t) => Ok(t),
+            Err(NandError::ReadFailed { .. }) => {
+                self.stats.gc_read_failures += 1;
+                Ok(self.config.timing().page_read_cost())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Clones the full FTL state (fault-model RNG position included) into
+    /// a shadow instance pinned to the per-page path, so a bulk collection
+    /// can be replayed and compared field-for-field.
+    #[cfg(debug_assertions)]
+    fn oracle_shadow(&self) -> Ftl {
+        Ftl {
+            config: self.config.clone(),
+            device: self.device.clone(),
+            mapping: self.mapping.clone(),
+            free_blocks: self.free_blocks.clone(),
+            is_free: self.is_free.clone(),
+            active_user: self.active_user,
+            active_hot: self.active_hot,
+            active_gc: self.active_gc,
+            gc_in_progress: self.gc_in_progress,
+            lpn_last_write: self.lpn_last_write.clone(),
+            is_retired: self.is_retired.clone(),
+            last_write: self.last_write.clone(),
+            sip: self.sip.clone(),
+            sip_counts: self.sip_counts.clone(),
+            sip_filter_enabled: self.sip_filter_enabled,
+            // collect_block never consults the selector, so the shadow
+            // does not need a clone of the (non-Clone) installed one.
+            selector: Box::new(crate::GreedySelector),
+            victim_index: self.victim_index.clone(),
+            read_only: self.read_only,
+            retired_pages: self.retired_pages,
+            degrade_events: self.degrade_events.clone(),
+            failed_reads: self.failed_reads.clone(),
+            bulk_gc: false,
+            gc_snapshot: Vec::new(),
+            gc_dst_scratch: Vec::new(),
+            gc_copy_enabled: false,
+            gc_copy_wall: std::time::Duration::ZERO,
+            stats: self.stats,
+        }
+    }
+
+    /// Field-for-field comparison of the bulk collection result against
+    /// the shadow replay of the per-page loop.
+    #[cfg(debug_assertions)]
+    fn assert_matches_oracle(
+        &self,
+        shadow: &Ftl,
+        expected: &Result<(SimDuration, u64), FtlError>,
+        actual: &Result<(SimDuration, u64), FtlError>,
+    ) {
+        assert_eq!(
+            format!("{actual:?}"),
+            format!("{expected:?}"),
+            "bulk collect_block result diverged from per-page loop"
+        );
+        assert_eq!(self.stats, shadow.stats, "FTL stats diverged");
+        assert_eq!(
+            self.device.stats(),
+            shadow.device.stats(),
+            "device op stats diverged"
+        );
+        assert_eq!(
+            self.device.total_valid_pages(),
+            shadow.device.total_valid_pages()
+        );
+        assert_eq!(
+            self.device.total_invalid_pages(),
+            shadow.device.total_invalid_pages()
+        );
+        assert_eq!(
+            self.device.total_free_pages(),
+            shadow.device.total_free_pages()
+        );
+        assert_eq!(self.free_blocks, shadow.free_blocks, "free pool diverged");
+        assert_eq!(self.is_free, shadow.is_free);
+        assert_eq!(self.active_user, shadow.active_user);
+        assert_eq!(self.active_hot, shadow.active_hot);
+        assert_eq!(self.active_gc, shadow.active_gc);
+        assert_eq!(self.gc_in_progress, shadow.gc_in_progress);
+        assert_eq!(self.read_only, shadow.read_only);
+        assert_eq!(self.retired_pages, shadow.retired_pages);
+        assert_eq!(self.is_retired, shadow.is_retired);
+        assert_eq!(self.degrade_events, shadow.degrade_events);
+        assert_eq!(self.last_write, shadow.last_write, "recency diverged");
+        assert_eq!(self.sip_counts, shadow.sip_counts, "SIP counts diverged");
+        let mine: Vec<_> = self.victim_index.iter_ids().collect();
+        let theirs: Vec<_> = shadow.victim_index.iter_ids().collect();
+        assert_eq!(mine, theirs, "victim index diverged");
+        for b in self.device.geometry().block_ids() {
+            let (a, e) = (self.device.block(b), shadow.device.block(b));
+            assert_eq!(a.erase_count(), e.erase_count(), "wear diverged on {b}");
+            assert_eq!(a.next_free_offset(), e.next_free_offset());
+            assert_eq!(a.valid_pages(), e.valid_pages(), "valid diverged on {b}");
+            assert_eq!(a.invalid_pages(), e.invalid_pages());
+        }
+        // Only pages named in the snapshot can have remapped; checking
+        // exactly those keeps the oracle O(blocks + migrated pages)
+        // instead of O(user pages).
+        for &(_, lpn) in &self.gc_snapshot {
+            assert_eq!(
+                self.mapping[lpn.0 as usize], shadow.mapping[lpn.0 as usize],
+                "mapping diverged for {lpn:?}"
+            );
+        }
     }
 
     /// Erases `victim` and returns it to the free pool, or — when the
@@ -1092,6 +1373,35 @@ impl Ftl {
     #[must_use]
     pub fn victim_policy(&self) -> &'static str {
         self.selector.name()
+    }
+
+    /// Selects between the batched full-block collection path (`true`,
+    /// the default) and the per-page reference loop. Both produce
+    /// byte-identical simulation state; the switch exists for A/B
+    /// benchmarking and the equivalence tests.
+    pub fn set_bulk_gc(&mut self, enabled: bool) {
+        self.bulk_gc = enabled;
+    }
+
+    /// `true` when full-block collections use the batched
+    /// [`copy_pages`](NandDevice::copy_pages) path.
+    #[must_use]
+    pub fn bulk_gc(&self) -> bool {
+        self.bulk_gc
+    }
+
+    /// Starts wall-clock accounting of full-block GC copy work; the total
+    /// is read back with [`gc_copy_wall`](Self::gc_copy_wall). Measurement
+    /// only — simulated behaviour is unaffected.
+    pub fn enable_gc_copy_profiling(&mut self) {
+        self.gc_copy_enabled = true;
+    }
+
+    /// Host wall-clock time spent inside full-block collections since
+    /// profiling was enabled (zero when it never was).
+    #[must_use]
+    pub fn gc_copy_wall(&self) -> std::time::Duration {
+        self.gc_copy_wall
     }
 
     // ------------------------------------------------------------------

@@ -35,7 +35,7 @@ pub struct BlockInfo {
 /// Determinism contract: given the same candidate sequence, the same choice
 /// must be returned ([`RandomSelector`] owns its seeded RNG for this
 /// reason).
-pub trait VictimSelector: std::fmt::Debug {
+pub trait VictimSelector: std::fmt::Debug + Send {
     /// A short human-readable policy name (for reports).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,127 @@
+//! The bulk GC migration path (one vectorized `copy_pages` call per
+//! victim) must be observationally identical to the per-page migrate loop
+//! it replaced — op for op, counter for counter, fault draw for fault
+//! draw. These tests drive the same deterministic op stream through a
+//! bulk FTL and a looped FTL (`set_bulk_gc(false)`) with wear-dependent
+//! fault injection active, and require the full observable trace to
+//! match: every op result, final stats, device stats, the degrade-event
+//! timeline, retirements, and the complete logical-to-physical mapping.
+//!
+//! (Debug builds additionally replay *every* bulk collection against the
+//! looped oracle inside `collect_block` itself; this suite checks the
+//! same equivalence end to end through the public API, in release builds
+//! too.)
+
+use jitgc_ftl::{Ftl, FtlConfig, GreedySelector, Lpn};
+use jitgc_nand::FaultConfig;
+use jitgc_sim::{SimDuration, SimRng, SimTime};
+
+const USER_PAGES: u64 = 64;
+
+fn ftl_with(fault: Option<FaultConfig>, endurance: u64, bulk: bool) -> Ftl {
+    let mut builder = FtlConfig::builder()
+        .user_pages(USER_PAGES)
+        .op_permille(250)
+        .pages_per_block(8)
+        .gc_reserve_blocks(2)
+        .endurance_limit(endurance);
+    if let Some(fault) = fault {
+        builder = builder.fault(fault);
+    }
+    let mut ftl = Ftl::new(builder.build(), Box::new(GreedySelector));
+    ftl.set_bulk_gc(bulk);
+    ftl
+}
+
+/// Runs a seeded op mix (writes under GC pressure, trims, budgeted BGC,
+/// wear-level sweeps) and returns the complete observable trace.
+fn drive(ftl: &mut Ftl, seed: u64, steps: u64) -> Vec<String> {
+    let mut rng = SimRng::seed(seed);
+    let mut trace = Vec::with_capacity(steps as usize + 8);
+    for t in 1..=steps {
+        let now = SimTime::from_millis(t);
+        let entry = match rng.range_u64(0, 12) {
+            0 => format!("{:?}", ftl.trim(Lpn(rng.range_u64(0, USER_PAGES)), now)),
+            1 => {
+                let budget = SimDuration::from_millis(rng.range_u64(1, 50));
+                format!("{:?}", ftl.background_collect(now, budget, None))
+            }
+            2 => format!("{:?}", ftl.wear_level(now)),
+            _ => format!(
+                "{:?}",
+                ftl.host_write(Lpn(rng.range_u64(0, USER_PAGES)), now)
+            ),
+        };
+        trace.push(entry);
+    }
+    trace.push(format!("{:?}", ftl.stats()));
+    trace.push(format!("{:?}", ftl.device().stats()));
+    trace.push(format!("{:?}", ftl.degrade_events()));
+    trace.push(format!(
+        "retired={} read_only={}",
+        ftl.retired_pages(),
+        ftl.read_only()
+    ));
+    for lpn in 0..USER_PAGES {
+        trace.push(format!("{:?}", ftl.lookup(Lpn(lpn))));
+    }
+    trace
+}
+
+fn assert_equivalent(fault: Option<FaultConfig>, endurance: u64, seed: u64) {
+    let mut bulk = ftl_with(fault, endurance, true);
+    let mut looped = ftl_with(fault, endurance, false);
+    let bulk_trace = drive(&mut bulk, seed, 400);
+    let looped_trace = drive(&mut looped, seed, 400);
+    for (i, (b, l)) in bulk_trace.iter().zip(&looped_trace).enumerate() {
+        assert_eq!(
+            b, l,
+            "bulk and looped GC diverged at trace entry {i} (op seed {seed})"
+        );
+    }
+    assert_eq!(bulk_trace.len(), looped_trace.len());
+}
+
+/// Fault-free device: the easy case, but it exercises the chunked
+/// `copy_pages` resume protocol across GC-block boundaries.
+#[test]
+fn bulk_equals_looped_without_faults() {
+    for seed in [1, 7, 42] {
+        assert_equivalent(None, 1_000, seed);
+    }
+}
+
+/// Active fault injection: read failures, program retries, and erase
+/// retirements all land mid-migration, so the RNG stream position after
+/// every victim is part of the identity — same seed, same retirements,
+/// same degrade-event timeline on both paths.
+#[test]
+fn bulk_equals_looped_under_active_faults() {
+    let fault = FaultConfig {
+        seed: 9,
+        program_rate: 0.08,
+        erase_rate: 0.08,
+        read_rate: 0.04,
+        wear_scale: 10,
+    };
+    for seed in [3, 11, 29] {
+        assert_equivalent(Some(fault), 8, seed);
+    }
+}
+
+/// A tiny endurance budget drives both FTLs all the way to read-only:
+/// the end-of-life trajectory (which blocks retire, when the pool
+/// collapses) must be identical.
+#[test]
+fn bulk_equals_looped_through_end_of_life() {
+    let fault = FaultConfig {
+        seed: 5,
+        program_rate: 0.15,
+        erase_rate: 0.15,
+        read_rate: 0.05,
+        wear_scale: 6,
+    };
+    for seed in [2, 13] {
+        assert_equivalent(Some(fault), 4, seed);
+    }
+}

@@ -6,6 +6,35 @@ use crate::{
 };
 use jitgc_sim::SimDuration;
 
+/// Result of one [`NandDevice::copy_pages`] call: how far the batched
+/// copy got and what it cost.
+///
+/// The call is op-for-op equivalent to the per-page
+/// read → program (with retries) → invalidate sequence GC used to issue,
+/// so every counter here mirrors what that loop would have accumulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CopyOutcome {
+    /// Simulated array time consumed: every read (uncorrectable ones
+    /// included — the transfer still happened) and every program attempt
+    /// (failed ones included — a failed program still ties up the die).
+    pub duration: SimDuration,
+    /// Source pages fully relocated (programmed into the destination and
+    /// invalidated at the source).
+    pub copied: usize,
+    /// Uncorrectable source reads among the reads this call performed.
+    /// The raw data is relocated anyway (GC salvage); the caller decides
+    /// how to account the loss.
+    pub read_failures: u64,
+    /// Failed program attempts; each consumed one destination page
+    /// (programmed and immediately invalid) before the copy retried.
+    pub program_retries: u64,
+    /// `true` when the call stopped because the destination block filled
+    /// up *after* the next source page had already been read. The caller
+    /// must resume with `first_read_done = true` on a fresh destination
+    /// so that read is not re-issued (nor its fault re-drawn).
+    pub pending_read: bool,
+}
+
 /// A NAND flash device: a flat array of erase blocks plus a timing model
 /// and operation/wear counters.
 ///
@@ -286,6 +315,122 @@ impl NandDevice {
         Ok(())
     }
 
+    /// Relocates a batch of valid pages into the destination block — the
+    /// vectorized form of GC's per-page read → program → invalidate loop.
+    ///
+    /// For each `(source, lpn)` pair, in slice order: read the source
+    /// (fault draw against the source block's wear; uncorrectable data is
+    /// salvaged, not dropped), program the destination's next sequential
+    /// page (retrying past pages consumed by injected program failures),
+    /// then invalidate the source. Fault draws therefore happen in
+    /// exactly the per-operation order of the equivalent loop, so a
+    /// seeded [`FaultModel`] produces the identical failure timeline
+    /// either way. The batching amortizes per-call dispatch: destination
+    /// bounds and wear are checked once, and the caller gets one outcome
+    /// instead of three results per page.
+    ///
+    /// The new location of every copied page is appended to `dst_ppns`
+    /// (index-aligned with the leading `copied` entries of `srcs`). When
+    /// `first_read_done` is set, the first source page's read has already
+    /// been performed (and its fault drawn) by the caller and is skipped
+    /// here — GC reads a victim page *before* securing a destination for
+    /// it, and resumed calls after a destination change must not re-read.
+    ///
+    /// The call stops early, with [`CopyOutcome::pending_read`] set, when
+    /// the destination fills up; the caller allocates a fresh destination
+    /// and resumes from `srcs[copied..]`.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::BlockOutOfRange`] / [`NandError::PpnOutOfRange`] for
+    /// bad addresses, [`NandError::ReadUnwrittenPage`] when a source page
+    /// holds no data, or [`NandError::InvalidateNonValidPage`] when a
+    /// source page is not valid — all indicate caller bugs, as in the
+    /// per-page loop.
+    pub fn copy_pages(
+        &mut self,
+        srcs: &[(Ppn, Lpn)],
+        dst: BlockId,
+        first_read_done: bool,
+        dst_ppns: &mut Vec<Ppn>,
+    ) -> Result<CopyOutcome, NandError> {
+        self.check_block(dst)?;
+        let mut out = CopyOutcome::default();
+        let read_cost = self.timing.page_read_cost();
+        let program_cost = self.timing.page_program_cost();
+        // No erase can happen mid-copy, so both wear inputs to the fault
+        // probabilities are constants fetched once per call.
+        let dst_worn = self.blocks[dst.0 as usize].erase_count();
+
+        for (idx, &(src, lpn)) in srcs.iter().enumerate() {
+            // Source read. The caller may have read the first page itself
+            // (GC reads before it knows whether a destination exists).
+            if idx > 0 || !first_read_done {
+                self.check_ppn(src)?;
+                let src_block = self.geometry.block_of(src);
+                let src_offset = self.geometry.page_offset(src);
+                let block = &self.blocks[src_block.0 as usize];
+                if block.page_state(src_offset) == PageState::Free {
+                    return Err(NandError::ReadUnwrittenPage { ppn: src });
+                }
+                let src_worn = block.erase_count();
+                let uncorrectable = self.fault.as_mut().is_some_and(|f| f.read_fails(src_worn));
+                if uncorrectable {
+                    self.stats.read_failures += 1;
+                    out.read_failures += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                self.stats.read_time += read_cost;
+                out.duration += read_cost;
+            }
+
+            // Program into the destination, retrying past consumed pages.
+            let new_ppn = loop {
+                let Some(dst_offset) = self.blocks[dst.0 as usize].next_free_offset() else {
+                    // Destination full with this page's read already done:
+                    // hand back to the caller for a fresh destination.
+                    out.pending_read = true;
+                    return Ok(out);
+                };
+                let failed = self
+                    .fault
+                    .as_mut()
+                    .is_some_and(|f| f.program_fails(dst_worn));
+                let block = &mut self.blocks[dst.0 as usize];
+                block.program_next(lpn).expect("offset checked free");
+                self.stats.program_time += program_cost;
+                out.duration += program_cost;
+                self.free_total -= 1;
+                if failed {
+                    // The page is consumed — programmed and immediately
+                    // invalid — so the retry makes progress.
+                    block.invalidate(dst_offset).expect("just programmed");
+                    self.invalid_total += 1;
+                    self.stats.program_failures += 1;
+                    out.program_retries += 1;
+                } else {
+                    self.valid_total += 1;
+                    self.stats.programs += 1;
+                    break self.geometry.ppn(dst, dst_offset);
+                }
+            };
+
+            // Retire the source copy.
+            let src_block = self.geometry.block_of(src);
+            let src_offset = self.geometry.page_offset(src);
+            self.blocks[src_block.0 as usize]
+                .invalidate(src_offset)
+                .map_err(|_| NandError::InvalidateNonValidPage { ppn: src })?;
+            self.valid_total -= 1;
+            self.invalid_total += 1;
+            self.stats.invalidations += 1;
+            dst_ppns.push(new_ppn);
+            out.copied += 1;
+        }
+        Ok(out)
+    }
+
     /// State of the page at `ppn`.
     ///
     /// # Panics
@@ -366,6 +511,7 @@ impl NandDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultConfig;
 
     fn tiny() -> NandDevice {
         NandDevice::new(
@@ -517,6 +663,204 @@ mod tests {
         assert_eq!(wear.total, 3);
         assert_eq!(wear.max, 2);
         assert_eq!(wear.min, 1);
+    }
+
+    /// The per-page GC relocation sequence `copy_pages` replaces, kept
+    /// here as the reference for equivalence tests.
+    fn loop_copy(
+        dev: &mut NandDevice,
+        srcs: &[(Ppn, Lpn)],
+        dst: BlockId,
+    ) -> (SimDuration, Vec<Ppn>, u64, u64) {
+        let mut duration = SimDuration::ZERO;
+        let mut dsts = Vec::new();
+        let mut read_failures = 0u64;
+        let mut retries = 0u64;
+        for &(src, lpn) in srcs {
+            duration += match dev.read(src) {
+                Ok(t) => t,
+                Err(NandError::ReadFailed { .. }) => {
+                    read_failures += 1;
+                    dev.timing().page_read_cost()
+                }
+                Err(e) => panic!("source read: {e}"),
+            };
+            let new_ppn = loop {
+                let offset = dev.block(dst).next_free_offset().expect("dst has space");
+                let ppn = dev.geometry().ppn(dst, offset);
+                match dev.program(ppn, lpn) {
+                    Ok(t) => {
+                        duration += t;
+                        break ppn;
+                    }
+                    Err(NandError::ProgramFailed { .. }) => {
+                        duration += dev.timing().page_program_cost();
+                        retries += 1;
+                    }
+                    Err(e) => panic!("program: {e}"),
+                }
+            };
+            dev.invalidate(src).expect("source is valid");
+            dsts.push(new_ppn);
+        }
+        (duration, dsts, read_failures, retries)
+    }
+
+    fn assert_same_device_state(a: &NandDevice, b: &NandDevice) {
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.total_valid_pages(), b.total_valid_pages());
+        assert_eq!(a.total_invalid_pages(), b.total_invalid_pages());
+        assert_eq!(a.total_free_pages(), b.total_free_pages());
+        for blk in 0..a.geometry().blocks() {
+            let (ba, bb) = (a.block(BlockId(blk)), b.block(BlockId(blk)));
+            assert_eq!(ba.erase_count(), bb.erase_count(), "block {blk} wear");
+            assert_eq!(
+                ba.iter_pages().collect::<Vec<_>>(),
+                bb.iter_pages().collect::<Vec<_>>(),
+                "block {blk} pages"
+            );
+        }
+    }
+
+    fn copy_fixture() -> NandDevice {
+        let mut dev = NandDevice::new(
+            Geometry::builder()
+                .blocks(4)
+                .pages_per_block(8)
+                .page_size_bytes(4096)
+                .build(),
+            NandTiming::mlc_20nm(),
+        );
+        for i in 0..8 {
+            dev.program(Ppn(i), Lpn(i)).expect("victim fill");
+        }
+        for off in [1, 3, 5] {
+            dev.invalidate(Ppn(off)).expect("valid");
+        }
+        dev
+    }
+
+    fn victim_srcs(dev: &NandDevice, victim: BlockId) -> Vec<(Ppn, Lpn)> {
+        dev.block(victim)
+            .valid_lpns()
+            .map(|(off, lpn)| (dev.geometry().ppn(victim, off), lpn))
+            .collect()
+    }
+
+    #[test]
+    fn copy_pages_matches_the_per_page_loop() {
+        let mut looped = copy_fixture();
+        let mut bulk = copy_fixture();
+        let srcs = victim_srcs(&looped, BlockId(0));
+        let (duration, dsts, _, _) = loop_copy(&mut looped, &srcs, BlockId(1));
+
+        let mut bulk_dsts = Vec::new();
+        let out = bulk
+            .copy_pages(&srcs, BlockId(1), false, &mut bulk_dsts)
+            .expect("copy");
+        assert_eq!(out.copied, srcs.len());
+        assert_eq!(out.duration, duration);
+        assert!(!out.pending_read);
+        assert_eq!(out.read_failures, 0);
+        assert_eq!(out.program_retries, 0);
+        assert_eq!(bulk_dsts, dsts);
+        assert_same_device_state(&looped, &bulk);
+    }
+
+    #[test]
+    fn copy_pages_stops_with_a_pending_read_when_the_destination_fills() {
+        let mut dev = copy_fixture();
+        // Leave only two free pages in the destination.
+        for i in 0..6 {
+            dev.program(Ppn(8 + i), Lpn(100 + i)).expect("dst fill");
+        }
+        let srcs = victim_srcs(&dev, BlockId(0));
+        assert_eq!(srcs.len(), 5);
+
+        let mut dsts = Vec::new();
+        let out = dev
+            .copy_pages(&srcs, BlockId(1), false, &mut dsts)
+            .expect("copy");
+        // Two pages fit; the third page's read already happened when the
+        // full destination was discovered.
+        assert_eq!(out.copied, 2);
+        assert!(out.pending_read);
+        assert_eq!(dsts.len(), 2);
+        assert_eq!(dev.stats().reads, 3);
+
+        // Resume on a fresh destination without re-reading.
+        let out = dev
+            .copy_pages(&srcs[2..], BlockId(2), true, &mut dsts)
+            .expect("resume");
+        assert_eq!(out.copied, 3);
+        assert!(!out.pending_read);
+        assert_eq!(dev.stats().reads, 5, "resume must not re-read");
+        assert_eq!(dsts.len(), 5);
+        assert_eq!(dev.block(BlockId(0)).valid_pages(), 0);
+    }
+
+    #[test]
+    fn copy_pages_matches_the_loop_under_faults() {
+        let mut saw_read_failure = false;
+        let mut saw_program_retry = false;
+        for seed in 0..10 {
+            let fault = FaultConfig {
+                seed,
+                program_rate: 0.35,
+                erase_rate: 0.0,
+                read_rate: 0.35,
+                wear_scale: 10,
+            };
+            let build = || {
+                let mut dev = NandDevice::new(
+                    Geometry::builder()
+                        .blocks(4)
+                        .pages_per_block(32)
+                        .page_size_bytes(4096)
+                        .build(),
+                    NandTiming::mlc_20nm(),
+                )
+                .with_fault_model(FaultModel::new(fault));
+                // Wear the victim and destination so faults can fire
+                // (erase_rate is zero: these draw nothing).
+                for blk in [BlockId(0), BlockId(1)] {
+                    for _ in 0..5 {
+                        dev.erase(blk).expect("erase never faults here");
+                    }
+                }
+                // Fill the victim, tolerating injected program failures —
+                // both devices share the seed, so they build identically.
+                while let Some(off) = dev.block(BlockId(0)).next_free_offset() {
+                    let ppn = dev.geometry().ppn(BlockId(0), off);
+                    let _ = dev.program(ppn, Lpn(u64::from(off)));
+                }
+                dev
+            };
+            let mut looped = build();
+            let mut bulk = build();
+            let srcs: Vec<_> = victim_srcs(&looped, BlockId(0))
+                .into_iter()
+                .take(8)
+                .collect();
+            assert!(!srcs.is_empty(), "seed {seed} left no valid pages");
+
+            let (duration, dsts, read_failures, retries) =
+                loop_copy(&mut looped, &srcs, BlockId(1));
+            let mut bulk_dsts = Vec::new();
+            let out = bulk
+                .copy_pages(&srcs, BlockId(1), false, &mut bulk_dsts)
+                .expect("copy");
+            assert_eq!(out.copied, srcs.len(), "seed {seed}");
+            assert_eq!(out.duration, duration, "seed {seed}");
+            assert_eq!(out.read_failures, read_failures, "seed {seed}");
+            assert_eq!(out.program_retries, retries, "seed {seed}");
+            assert_eq!(bulk_dsts, dsts, "seed {seed}");
+            assert_same_device_state(&looped, &bulk);
+            saw_read_failure |= read_failures > 0;
+            saw_program_retry |= retries > 0;
+        }
+        assert!(saw_read_failure, "no seed injected an uncorrectable read");
+        assert!(saw_program_retry, "no seed injected a program failure");
     }
 
     #[test]

@@ -67,7 +67,10 @@ use jitgc_nand::Lpn;
 /// think-time has been emitted. The engine owns actual issue timing (the
 /// gap is a *minimum* spacing — a closed-loop schedule, not an open-loop
 /// timestamp).
-pub trait Workload {
+///
+/// `Send` so a system holding its workload can be stepped on an array
+/// worker thread.
+pub trait Workload: Send {
     /// The benchmark's display name.
     fn name(&self) -> &'static str;
 

@@ -37,6 +37,7 @@ fn array_report(members: usize, gc_mode: GcMode, seed: u64) -> ArrayReport {
         chunk_pages: 16,
         redundancy: Redundancy::None,
         gc_mode,
+        member_threads: 1,
         system: system.clone(),
     };
     config

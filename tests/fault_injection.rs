@@ -82,6 +82,7 @@ fn zero_rate_fault_model_is_byte_identical_to_none() {
             chunk_pages: 16,
             redundancy: Redundancy::Mirror,
             gc_mode: GcMode::Staggered,
+            member_threads: 1,
             system: system.clone(),
         }
         .build(jit, workload_for(system, 15, 21))
@@ -224,6 +225,7 @@ fn one_member_array_preserves_the_fault_stream() {
         chunk_pages: 16,
         redundancy: Redundancy::None,
         gc_mode: GcMode::Staggered,
+        member_threads: 1,
         system: config.clone(),
     }
     .build(jit, workload_for(&config, 20, 5))
@@ -261,6 +263,7 @@ fn mirror_recovers_uncorrectable_reads_from_the_surviving_replica() {
         chunk_pages: 16,
         redundancy: Redundancy::Mirror,
         gc_mode: GcMode::Staggered,
+        member_threads: 1,
         system: config.clone(),
     }
     .build(jit, workload_for(&config, 40, 13))

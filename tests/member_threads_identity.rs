@@ -1,0 +1,117 @@
+//! Parallel member stepping is an implementation detail: whatever worker
+//! count steps the members, the array report must be **byte-identical**
+//! (as serialized JSON) to the serial scheduler's — across striped and
+//! mirrored layouts, and with wear-dependent fault injection active (the
+//! fault timeline is part of the identity, so a reordered RNG draw
+//! anywhere would show up here).
+
+use jitgc_repro::array::{ArrayConfig, GcMode, Redundancy};
+use jitgc_repro::core::policy::{GcPolicy, JitGc};
+use jitgc_repro::core::system::SystemConfig;
+use jitgc_repro::nand::FaultConfig;
+use jitgc_repro::sim::SimDuration;
+use jitgc_repro::workload::{BenchmarkKind, Workload, WorkloadConfig};
+
+fn jit(config: &SystemConfig) -> Box<dyn GcPolicy> {
+    Box::new(JitGc::from_system_config(config))
+}
+
+/// The standard sizing, scaled by the column count so each member carries
+/// a standalone device's load.
+fn workload_for(config: &SystemConfig, columns: u64, seed: u64) -> Box<dyn Workload> {
+    let per_member = config.ftl.user_pages() - config.ftl.op_pages() / 2;
+    BenchmarkKind::Ycsb.build(
+        WorkloadConfig::builder()
+            .working_set_pages(per_member * columns)
+            .duration(SimDuration::from_secs(15))
+            .mean_iops(400.0 * columns as f64)
+            .burst_mean(128.0)
+            .seed(seed)
+            .build(),
+    )
+}
+
+fn array_json(
+    system: &SystemConfig,
+    redundancy: Redundancy,
+    member_threads: usize,
+    seed: u64,
+) -> String {
+    let members = 4;
+    let columns = match redundancy {
+        Redundancy::None => members as u64,
+        Redundancy::Mirror => members as u64 / 2,
+    };
+    ArrayConfig {
+        members,
+        chunk_pages: 16,
+        redundancy,
+        gc_mode: GcMode::Staggered,
+        member_threads,
+        system: system.clone(),
+    }
+    .build(jit, workload_for(system, columns, seed))
+    .run()
+    .to_json()
+    .to_pretty()
+}
+
+/// Striped (no redundancy): members only interact through routing-free
+/// address splitting, so every quantum runs fully parallel.
+#[test]
+fn striped_array_is_identical_for_any_worker_count() {
+    let system = SystemConfig::small_for_tests();
+    let serial = array_json(&system, Redundancy::None, 1, 42);
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            array_json(&system, Redundancy::None, threads, 42),
+            "striped report diverged at {threads} member threads"
+        );
+    }
+}
+
+/// Mirrored: replica-routed reads are cross-member decisions, so quanta
+/// get truncated at serial points — the report must still match exactly.
+#[test]
+fn mirrored_array_is_identical_for_any_worker_count() {
+    let system = SystemConfig::small_for_tests();
+    let serial = array_json(&system, Redundancy::Mirror, 1, 7);
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            array_json(&system, Redundancy::Mirror, threads, 7),
+            "mirrored report diverged at {threads} member threads"
+        );
+    }
+}
+
+/// With fault injection firing, every RNG draw's position in the
+/// per-member stream is observable through the failure timeline: parallel
+/// stepping must reproduce it draw for draw.
+#[test]
+fn faulty_array_is_identical_for_any_worker_count() {
+    let mut system = SystemConfig::small_for_tests();
+    system.ftl = system
+        .ftl
+        .to_builder()
+        .endurance_limit(60)
+        .fault(FaultConfig {
+            seed: 9,
+            program_rate: 0.05,
+            erase_rate: 0.05,
+            read_rate: 0.02,
+            wear_scale: 40,
+        })
+        .build();
+    for redundancy in [Redundancy::None, Redundancy::Mirror] {
+        let serial = array_json(&system, redundancy, 1, 21);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                array_json(&system, redundancy, threads, 21),
+                "faulty {redundancy:?} report diverged at {threads} member threads"
+            );
+        }
+    }
+}
