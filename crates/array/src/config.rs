@@ -1,6 +1,6 @@
 //! Array construction.
 
-use crate::{ArrayScheduler, GcMode, Redundancy, StripeMap};
+use crate::{ArraySched, ArrayScheduler, GcMode, Redundancy, StripeMap};
 use jitgc_core::policy::GcPolicy;
 use jitgc_core::system::{SsdSystem, SystemConfig};
 use jitgc_workload::{NullWorkload, Workload};
@@ -22,14 +22,55 @@ pub struct ArrayConfig {
     pub redundancy: Redundancy,
     /// BGC coordination across members.
     pub gc_mode: GcMode,
-    /// Worker threads for parallel member stepping (1 = serial; clamped
-    /// to the member count). Reports are byte-identical for any value.
+    /// Which driver advances the members. Reports are byte-identical
+    /// for either mode; `Barrier` is the lockstep debug oracle.
+    pub sched: ArraySched,
+    /// Worker threads for parallel member stepping (1 = serial; must not
+    /// exceed the member count). Reports are byte-identical for any
+    /// value.
     pub member_threads: usize,
-    /// Per-member system configuration (identical for every member).
+    /// Per-member system configuration (identical for every member
+    /// unless [`build_with`](ArrayConfig::build_with) tweaks it).
     pub system: SystemConfig,
 }
 
 impl ArrayConfig {
+    /// Checks the geometry and threading knobs, returning a
+    /// human-readable error for the CLI to print instead of a panic deep
+    /// in the scheduler. [`build`](ArrayConfig::build) asserts this.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob when the member
+    /// count is zero, the chunk is zero pages, mirroring gets an odd
+    /// member count, or the member-thread count is zero or exceeds the
+    /// member count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.members == 0 {
+            return Err("an array needs at least one member".into());
+        }
+        if self.chunk_pages == 0 {
+            return Err("the stripe chunk must be at least one page".into());
+        }
+        if self.redundancy == Redundancy::Mirror && !self.members.is_multiple_of(2) {
+            return Err(format!(
+                "mirroring pairs members, so the member count must be even (got {})",
+                self.members
+            ));
+        }
+        if self.member_threads == 0 {
+            return Err("member stepping needs at least one thread".into());
+        }
+        if self.member_threads > self.members {
+            return Err(format!(
+                "{} member threads exceed the {} members; extra workers would never \
+                 find work",
+                self.member_threads, self.members
+            ));
+        }
+        Ok(())
+    }
+
     /// Builds the array and its scheduler around `workload`.
     ///
     /// `policy` is invoked once per member so each device gets its own
@@ -44,14 +85,42 @@ impl ArrayConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the stripe geometry is invalid (see [`StripeMap::new`])
-    /// or if any member's share of the working set exceeds the device's
-    /// logical space.
+    /// Panics if [`validate`](ArrayConfig::validate) rejects the config,
+    /// the stripe geometry is invalid (see [`StripeMap::new`]) or any
+    /// member's share of the working set exceeds the device's logical
+    /// space.
     #[must_use]
-    pub fn build<F>(&self, mut policy: F, workload: Box<dyn Workload>) -> ArrayScheduler
+    pub fn build<F>(&self, policy: F, workload: Box<dyn Workload>) -> ArrayScheduler
     where
         F: FnMut(&SystemConfig) -> Box<dyn GcPolicy>,
     {
+        self.build_with(policy, workload, |_, _| {})
+    }
+
+    /// [`build`](ArrayConfig::build) with a per-member configuration
+    /// hook: `tweak(device, &mut system)` runs once per member before
+    /// the device is constructed. This is how experiments model a
+    /// heterogeneous rack — one aging, fault-prone straggler among
+    /// healthy members, or mixed drive batches with different endurance
+    /// — without giving up the shared geometry checks.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](ArrayConfig::build).
+    #[must_use]
+    pub fn build_with<F, M>(
+        &self,
+        mut policy: F,
+        workload: Box<dyn Workload>,
+        mut tweak: M,
+    ) -> ArrayScheduler
+    where
+        F: FnMut(&SystemConfig) -> Box<dyn GcPolicy>,
+        M: FnMut(usize, &mut SystemConfig),
+    {
+        if let Err(message) = self.validate() {
+            panic!("invalid array config: {message}");
+        }
         let stripe = StripeMap::new(self.members, self.chunk_pages, self.redundancy);
         let volume = workload.working_set_pages();
         let name = workload.name();
@@ -88,6 +157,7 @@ impl ArrayConfig {
                     system.ftl = system.ftl.to_builder().fault(f).build();
                 }
             }
+            tweak(device, &mut system);
             members.push(SsdSystem::new(
                 system.clone(),
                 policy(&system),
@@ -96,6 +166,44 @@ impl ArrayConfig {
         }
         let mut scheduler = ArrayScheduler::new(members, stripe, self.gc_mode, workload);
         scheduler.set_member_threads(self.member_threads);
+        scheduler.set_sched(self.sched);
         scheduler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitgc_core::system::SystemConfig;
+
+    fn config(members: usize, redundancy: Redundancy, member_threads: usize) -> ArrayConfig {
+        ArrayConfig {
+            members,
+            chunk_pages: 16,
+            redundancy,
+            gc_mode: GcMode::Staggered,
+            sched: ArraySched::Steal,
+            member_threads,
+            system: SystemConfig::small_for_tests(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_rack_scale_configs() {
+        assert_eq!(config(1, Redundancy::None, 1).validate(), Ok(()));
+        assert_eq!(config(64, Redundancy::Mirror, 8).validate(), Ok(()));
+        assert_eq!(config(256, Redundancy::None, 256).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_the_offending_knob() {
+        let err = |c: ArrayConfig| c.validate().unwrap_err();
+        assert!(err(config(0, Redundancy::None, 1)).contains("at least one member"));
+        let mut zero_chunk = config(2, Redundancy::None, 1);
+        zero_chunk.chunk_pages = 0;
+        assert!(err(zero_chunk).contains("at least one page"));
+        assert!(err(config(3, Redundancy::Mirror, 1)).contains("even"));
+        assert!(err(config(4, Redundancy::None, 0)).contains("at least one thread"));
+        assert!(err(config(4, Redundancy::None, 5)).contains("exceed"));
     }
 }

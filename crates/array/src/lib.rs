@@ -12,7 +12,11 @@
 //! * [`ArrayScheduler`] — the closed-loop engine: advances members in
 //!   virtual-time lockstep through the core engine's stepping API, fans
 //!   each logical request out as one sub-request per touched member, and
-//!   completes it when the slowest member does.
+//!   completes it when the slowest member does. Members step in parallel
+//!   under either a work-stealing driver ([`ArraySched::Steal`], scales
+//!   to hundreds of members) or the lockstep barrier oracle
+//!   ([`ArraySched::Barrier`]) — reports are byte-identical either way,
+//!   for any thread count.
 //! * [`ArrayManager`] — the coordination brain: staggers member flusher
 //!   phases ([`GcMode::Staggered`]) so background-GC windows de-correlate
 //!   instead of stalling every stripe column at once, and steers mirrored
@@ -41,6 +45,7 @@
 //!     chunk_pages: 16,
 //!     redundancy: Redundancy::None,
 //!     gc_mode: GcMode::Staggered,
+//!     sched: jitgc_array::ArraySched::Steal,
 //!     member_threads: 1,
 //!     system: system.clone(),
 //! };
@@ -67,6 +72,6 @@ mod stripe;
 
 pub use config::ArrayConfig;
 pub use manager::{ArrayManager, GcMode};
-pub use report::{ArrayDegraded, ArrayReport};
-pub use scheduler::ArrayScheduler;
+pub use report::{ArrayDegraded, ArrayReport, MemberSched};
+pub use scheduler::{ArraySched, ArrayScheduler, SchedTelemetry};
 pub use stripe::{Redundancy, StripeExtent, StripeMap};

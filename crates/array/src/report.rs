@@ -68,12 +68,70 @@ pub struct ArrayReport {
     /// Blocks reclaimed by background GC, summed over members.
     pub bgc_blocks: u64,
 
+    /// Per-member scheduler accounting, index-aligned with
+    /// `member_reports`. Every field is a function of the simulated
+    /// timeline only — identical for any `--member-threads` count and
+    /// either `--array-sched` mode — so it lives in the deterministic
+    /// report; wall-clock artifacts (steal counts, epochs) are in
+    /// `SchedTelemetry` instead.
+    pub member_sched: Vec<MemberSched>,
     /// The untouched per-member reports.
     pub member_reports: Vec<SimReport>,
     /// End-of-life section; `None` while every member is healthy (and
     /// then absent from the JSON, keeping fault-free output
     /// byte-identical with pre-fault-model builds).
     pub degraded: Option<ArrayDegraded>,
+}
+
+/// One member's scheduler accounting: how far its virtual clock trailed
+/// the issue times of the requests it served (the *lag* histogram — a
+/// member deep in periodic work or FGC lags the horizon), and how often
+/// it was the straggler that set a logical request's completion time.
+///
+/// `straggler_time_us` is the member's **exclusive** contribution to
+/// volume latency: for each request it straggled, the gap between its
+/// completion and the runner-up's — the part of the tail no other member
+/// can hide. `straggler_fgc_requests` counts how many of those straggled
+/// steps invoked foreground GC, attributing tail latency to GC rather
+/// than plain load.
+///
+/// Straggler attribution only counts requests that fanned out to **two
+/// or more** members (split extents, mirrored writes). A single-member
+/// request has no runner-up — counting it would just re-measure that
+/// member's load and bury the device that is actually holding
+/// multi-member requests back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberSched {
+    /// Sub-requests this member executed.
+    pub steps: u64,
+    /// Mean time-behind-horizon at step issue, in microseconds.
+    pub lag_mean_us: u64,
+    /// 99th-percentile time-behind-horizon, in microseconds.
+    pub lag_p99_us: u64,
+    /// Worst time-behind-horizon, in microseconds.
+    pub lag_max_us: u64,
+    /// Multi-member requests whose completion this member set.
+    pub straggler_requests: u64,
+    /// Straggled requests whose step invoked foreground GC.
+    pub straggler_fgc_requests: u64,
+    /// Summed exclusive delay over straggled requests, in microseconds.
+    pub straggler_time_us: u64,
+}
+
+impl MemberSched {
+    /// Serializes one member's scheduler accounting.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        ObjectBuilder::new()
+            .field("steps", self.steps)
+            .field("lag_mean_us", self.lag_mean_us)
+            .field("lag_p99_us", self.lag_p99_us)
+            .field("lag_max_us", self.lag_max_us)
+            .field("straggler_requests", self.straggler_requests)
+            .field("straggler_fgc_requests", self.straggler_fgc_requests)
+            .field("straggler_time_us", self.straggler_time_us)
+            .build()
+    }
 }
 
 /// Array-level end-of-life summary: how member wear-out surfaced at the
@@ -109,6 +167,7 @@ impl ArrayReport {
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         let members: Vec<JsonValue> = self.member_reports.iter().map(SimReport::to_json).collect();
+        let sched: Vec<JsonValue> = self.member_sched.iter().map(MemberSched::to_json).collect();
         let mut b = ObjectBuilder::new()
             .field("members", self.members as u64)
             .field("chunk_pages", self.chunk_pages)
@@ -131,6 +190,7 @@ impl ArrayReport {
             .field("erase_spread", self.erase_spread.to_json())
             .field("fgc_request_stalls", self.fgc_request_stalls)
             .field("bgc_blocks", self.bgc_blocks)
+            .field("member_sched", JsonValue::Array(sched))
             .field("member_reports", JsonValue::Array(members));
         if let Some(degraded) = &self.degraded {
             b = b.field("degraded", degraded.to_json());

@@ -1,15 +1,57 @@
 //! The array's closed-loop request engine.
 
 use crate::{
-    ArrayDegraded, ArrayManager, ArrayReport, GcMode, Redundancy, StripeExtent, StripeMap,
+    ArrayDegraded, ArrayManager, ArrayReport, GcMode, MemberSched, Redundancy, StripeExtent,
+    StripeMap,
 };
 use jitgc_core::system::{GcSignals, SsdSystem};
 use jitgc_nand::{Lpn, WearReport};
 use jitgc_sim::stats::LatencyRecorder;
 use jitgc_sim::SimTime;
 use jitgc_workload::{IoKind, IoRequest, Workload};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// Which engine advances the members during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArraySched {
+    /// The PR 5 lockstep driver: every worker sweeps a static member
+    /// partition between two global barriers per quantum, visiting all
+    /// of its members whether or not the quantum touched them. Kept as
+    /// the debug oracle (`--array-sched barrier`).
+    Barrier,
+    /// Work-stealing (the default): only the members a quantum actually
+    /// touched become work items, ordered laggiest-first and dealt into
+    /// per-worker deque shards; a worker that drains its own shard
+    /// steals from its neighbours'. Serial phases lock only the touched
+    /// lanes, so per-quantum driver cost is O(touched), not O(members) —
+    /// the difference between 4 and 256 members.
+    Steal,
+}
+
+impl ArraySched {
+    /// Short display name (used in reports and CLI parsing).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ArraySched::Barrier => "barrier",
+            ArraySched::Steal => "steal",
+        }
+    }
+}
+
+/// What one member step produced: everything the serial merge phase
+/// needs to fold the sub-request back into the logical schedule.
+#[derive(Debug, Clone, Copy)]
+struct StepResult {
+    /// Completion time of the sub-request.
+    done: SimTime,
+    /// Uncorrectable pages the step left in `failed_read_lpns`.
+    failed_reads: u64,
+    /// Whether the step (including the periodic work it pulled in)
+    /// invoked foreground GC — the straggler attribution signal.
+    fgc: bool,
+}
 
 /// One member plus its per-quantum mailboxes, owned by a worker thread
 /// during the parallel phase and by the driver (via the lock, always
@@ -18,9 +60,368 @@ struct Lane {
     system: SsdSystem,
     /// Sub-requests for this member in global request order.
     queue: Vec<(IoRequest, SimTime)>,
-    /// Per-sub results in queue order: completion time and the number of
-    /// uncorrectable pages the step left in `failed_read_lpns`.
-    results: Vec<(SimTime, u64)>,
+    /// Per-sub results in queue order.
+    results: Vec<StepResult>,
+    /// Time-behind-horizon sample per step (merged into the scheduler's
+    /// per-member recorder after the run).
+    lag: LatencyRecorder,
+    /// Times this lane was executed by a worker other than the one whose
+    /// shard held it. Wall-clock telemetry only — never in the report.
+    steals: u64,
+}
+
+impl Lane {
+    fn new(system: SsdSystem) -> Self {
+        Lane {
+            system,
+            queue: Vec::new(),
+            results: Vec::new(),
+            lag: LatencyRecorder::new(),
+            steals: 0,
+        }
+    }
+
+    /// Steps every queued sub-request in order, recording the same
+    /// telemetry the serial scheduler records: how far the member's
+    /// clock trailed the issue time, and whether the step hit FGC.
+    fn run_queue(&mut self) {
+        for i in 0..self.queue.len() {
+            let (sub, issue) = self.queue[i];
+            self.lag
+                .record(issue.saturating_since(self.system.virtual_clock()));
+            let fgc_before = self.system.fgc_invocations();
+            let done = self.system.step(sub, issue);
+            self.results.push(StepResult {
+                done,
+                failed_reads: self.system.failed_read_lpns().len() as u64,
+                fgc: self.system.fgc_invocations() > fgc_before,
+            });
+        }
+        self.queue.clear();
+    }
+}
+
+/// Splits a slice into two distinct mutable elements.
+fn pair_mut<T>(xs: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b, "a mirrored pair needs two distinct members");
+    if a < b {
+        let (left, right) = xs.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = xs.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}
+
+/// Uniform indexed access to the member lanes for the serial phases of
+/// the parallel drivers. The barrier driver pre-locks every lane; the
+/// work-stealing driver locks lazily, so a quantum that touches 10 of
+/// 256 members pays for 10 locks.
+trait LaneTable {
+    fn lane(&mut self, member: usize) -> &mut Lane;
+    /// Two distinct lanes at once (mirrored-read routing).
+    fn pair(&mut self, a: usize, b: usize) -> (&mut Lane, &mut Lane);
+}
+
+impl LaneTable for [Lane] {
+    fn lane(&mut self, member: usize) -> &mut Lane {
+        &mut self[member]
+    }
+
+    fn pair(&mut self, a: usize, b: usize) -> (&mut Lane, &mut Lane) {
+        pair_mut(self, a, b)
+    }
+}
+
+impl LaneTable for [MutexGuard<'_, Lane>] {
+    fn lane(&mut self, member: usize) -> &mut Lane {
+        &mut self[member]
+    }
+
+    fn pair(&mut self, a: usize, b: usize) -> (&mut Lane, &mut Lane) {
+        let (x, y) = pair_mut(self, a, b);
+        (&mut *x, &mut *y)
+    }
+}
+
+/// Lock-on-demand lane access for the work-stealing driver's serial
+/// phases. Holds the guards it acquired until [`release`](Self::release);
+/// the linear scan is over the touched set (≤ a few × queue depth), not
+/// the member count.
+struct LazyLanes<'l> {
+    all: &'l [Mutex<Lane>],
+    held: Vec<(usize, MutexGuard<'l, Lane>)>,
+}
+
+impl<'l> LazyLanes<'l> {
+    fn new(all: &'l [Mutex<Lane>]) -> Self {
+        LazyLanes {
+            all,
+            held: Vec::new(),
+        }
+    }
+
+    /// Drops every held guard (call before handing the lanes to workers).
+    fn release(&mut self) {
+        self.held.clear();
+    }
+
+    fn slot(&mut self, member: usize) -> usize {
+        if let Some(pos) = self.held.iter().position(|(m, _)| *m == member) {
+            return pos;
+        }
+        self.held
+            .push((member, self.all[member].lock().expect("a member panicked")));
+        self.held.len() - 1
+    }
+}
+
+impl LaneTable for LazyLanes<'_> {
+    fn lane(&mut self, member: usize) -> &mut Lane {
+        let pos = self.slot(member);
+        &mut self.held[pos].1
+    }
+
+    fn pair(&mut self, a: usize, b: usize) -> (&mut Lane, &mut Lane) {
+        let pa = self.slot(a);
+        let pb = self.slot(b);
+        let (x, y) = pair_mut(&mut self.held, pa, pb);
+        (&mut x.1, &mut y.1)
+    }
+}
+
+/// The sharded work queue the stealing workers drain each round.
+///
+/// The driver publishes the quantum's touched members laggiest-first;
+/// index `i` of the agenda belongs to shard `i % shards`, so the
+/// laggiest members spread round-robin over the workers. A worker pops
+/// its own shard first and probes its neighbours' shards (a steal) once
+/// its own runs dry. Claims go through one `fetch_add` per shard cursor,
+/// so every agenda slot is executed exactly once; which worker gets it
+/// only moves wall-clock time, never simulated state.
+struct StealQueue {
+    agenda: Vec<AtomicUsize>,
+    len: AtomicUsize,
+    cursors: Vec<AtomicUsize>,
+}
+
+impl StealQueue {
+    fn new(members: usize, shards: usize) -> Self {
+        StealQueue {
+            agenda: (0..members).map(AtomicUsize::new).collect(),
+            len: AtomicUsize::new(0),
+            cursors: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Publishes the next round's agenda. Only called while the workers
+    /// are parked at the start barrier, which orders these plain stores
+    /// before every worker's loads.
+    fn publish(&self, order: &[usize]) {
+        for (slot, &member) in self.agenda.iter().zip(order) {
+            slot.store(member, Ordering::Relaxed);
+        }
+        self.len.store(order.len(), Ordering::Relaxed);
+        for cursor in &self.cursors {
+            cursor.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Claims the next member for `worker`: own shard first, then each
+    /// neighbour's in turn. Returns the member and whether it was stolen.
+    fn pop(&self, worker: usize) -> Option<(usize, bool)> {
+        let len = self.len.load(Ordering::Relaxed);
+        let shards = self.cursors.len();
+        for probe in 0..shards {
+            let shard = (worker + probe) % shards;
+            let at = self.cursors[shard].fetch_add(1, Ordering::Relaxed);
+            let index = shard + at * shards;
+            if index < len {
+                return Some((self.agenda[index].load(Ordering::Relaxed), probe != 0));
+            }
+        }
+        None
+    }
+}
+
+/// Per-quantum bookkeeping, allocated once and reused across rounds so
+/// the steady state allocates nothing.
+struct QuantumState {
+    /// (thread, issue) per logical request, in request order.
+    quantum: Vec<(usize, SimTime)>,
+    /// (request index, member, counts-lost-pages) per sub-request.
+    subs: Vec<(usize, usize, bool)>,
+    /// Members the current quantum dealt work to, in first-touch order
+    /// until the driver reorders them laggiest-first.
+    touched: Vec<usize>,
+    /// Per-member read position into `Lane::results` during the merge.
+    /// Only touched members' entries are ever non-zero.
+    cursors: Vec<usize>,
+    outcomes: Vec<ReqOutcome>,
+    /// Scratch for the laggiest-first sort: (member, queued, behind µs).
+    agenda_keys: Vec<(usize, u64, u64)>,
+    /// A mirrored read that must wait for the quantum ahead of it.
+    pending: Option<IoRequest>,
+    exhausted: bool,
+    queue_depth: usize,
+}
+
+impl QuantumState {
+    fn new(queue_depth: usize, members: usize) -> Self {
+        QuantumState {
+            quantum: Vec::with_capacity(queue_depth),
+            subs: Vec::new(),
+            touched: Vec::new(),
+            cursors: vec![0; members],
+            outcomes: Vec::with_capacity(queue_depth),
+            agenda_keys: Vec::new(),
+            pending: None,
+            exhausted: false,
+            queue_depth,
+        }
+    }
+}
+
+/// Accumulates one logical request's sub-completions into its completion
+/// time plus straggler attribution: which member finished last, by how
+/// much it trailed the runner-up (the request's *exclusive* delay — the
+/// part no other member can hide), and whether that member was mid-FGC.
+/// Ties keep the first maximum, so attribution is deterministic.
+///
+/// Attribution only applies to requests that fanned out to **two or
+/// more** members: a single-sub request has no runner-up, so calling its
+/// one member a "straggler" would just re-measure per-member load and
+/// drown the real signal (a member holding multi-member requests back).
+#[derive(Debug, Clone, Copy)]
+struct ReqOutcome {
+    completion: SimTime,
+    /// The second-slowest completion (or the issue time before one
+    /// exists): the request would have finished here without the
+    /// straggler.
+    runner_up: SimTime,
+    /// Member holding the current maximum; `usize::MAX` until the first
+    /// sub-completion arrives (a zero-page request has none).
+    straggler: usize,
+    /// Whether the straggler's step invoked foreground GC.
+    fgc: bool,
+    /// Sub-completions observed; attribution needs at least two.
+    subs: u32,
+}
+
+impl ReqOutcome {
+    fn new(issue: SimTime) -> Self {
+        ReqOutcome {
+            completion: issue,
+            runner_up: issue,
+            straggler: usize::MAX,
+            fgc: false,
+            subs: 0,
+        }
+    }
+
+    fn observe(&mut self, member: usize, done: SimTime, fgc: bool) {
+        self.subs += 1;
+        if self.straggler == usize::MAX || done > self.completion {
+            self.runner_up = self.runner_up.max(self.completion);
+            self.completion = self.completion.max(done);
+            self.straggler = member;
+            self.fgc = fgc;
+        } else {
+            self.runner_up = self.runner_up.max(done);
+        }
+    }
+}
+
+/// What routing one mirrored-read sub-request produced.
+struct MirrorOutcome {
+    done: SimTime,
+    device: usize,
+    fgc: bool,
+    recovered_pages: u64,
+    lost_pages: u64,
+}
+
+/// Routes and executes one mirrored-read sub-request over the two
+/// replica members. This is *the* serialization point of the array: the
+/// replica choice reads both members' live GC signals, so every driver —
+/// serial, barrier, work-stealing — funnels through this one function
+/// and the reports cannot drift apart.
+fn route_mirrored_sub(
+    manager: &mut ArrayManager,
+    retry: &mut Vec<Lpn>,
+    member_lag: &mut [LatencyRecorder],
+    primary: (usize, &mut SsdSystem),
+    replica: (usize, &mut SsdSystem),
+    sub: IoRequest,
+    issue: SimTime,
+) -> MirrorOutcome {
+    let (primary, primary_sys) = primary;
+    let (replica, replica_sys) = replica;
+    // Lag and FGC baselines are sampled before the candidates' clocks
+    // advance to the issue time, so the chosen replica's step is charged
+    // for the periodic work (and any tick-driven FGC) it had pending.
+    let lag_primary = issue.saturating_since(primary_sys.virtual_clock());
+    let lag_replica = issue.saturating_since(replica_sys.virtual_clock());
+    let fgc_primary = primary_sys.fgc_invocations();
+    let fgc_replica = replica_sys.fgc_invocations();
+    // Bring both candidates' clocks up to the issue time first: members
+    // process periodic work lazily, so an un-advanced replica would
+    // report a stale (idle) `busy_until` and attract exactly the reads
+    // its overdue flush is about to stall.
+    primary_sys.advance_to(issue);
+    replica_sys.advance_to(issue);
+    let device = manager.choose_between(primary, primary_sys, replica, replica_sys, issue);
+    let (chosen, other, lag, fgc_before) = if device == primary {
+        (primary_sys, replica_sys, lag_primary, fgc_primary)
+    } else {
+        (replica_sys, primary_sys, lag_replica, fgc_replica)
+    };
+    member_lag[device].record(lag);
+    let mut done = chosen.step(sub, issue);
+    let mut recovered_pages = 0;
+    let mut lost_pages = 0;
+    if !chosen.failed_read_lpns().is_empty() {
+        // Uncorrectable pages on the chosen replica: repair by re-reading
+        // the surviving copy. Only pages that fail on *both* replicas are
+        // lost.
+        retry.clear();
+        retry.extend_from_slice(chosen.failed_read_lpns());
+        let (repaired_at, still_failed) = other.recovery_read(retry, issue);
+        done = done.max(repaired_at);
+        recovered_pages = retry.len() as u64 - still_failed;
+        lost_pages = still_failed;
+    }
+    let fgc = chosen.fgc_invocations() > fgc_before;
+    MirrorOutcome {
+        done,
+        device,
+        fgc,
+        recovered_pages,
+        lost_pages,
+    }
+}
+
+/// Wall-clock scheduler telemetry from the last [`run`](ArrayScheduler::run).
+///
+/// Everything here depends on the driver mode or on OS thread timing
+/// (how often a worker had to steal), so it lives outside the
+/// deterministic [`ArrayReport`] — reports stay byte-identical across
+/// `--array-sched` modes and thread counts, while this struct tells you
+/// what the machinery did to get there. Surfaced in `--bench-json`
+/// (`ssdsim-bench/6`), never in `--json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedTelemetry {
+    /// Driver that produced the last run.
+    pub sched: ArraySched,
+    /// Configured worker-thread count.
+    pub member_threads: usize,
+    /// Scheduling quanta executed (0 for the fully serial barrier path,
+    /// which has no quantum structure).
+    pub epochs: u64,
+    /// Total lane executions by a non-owning worker.
+    pub steals: u64,
+    /// Per-member steal counts, index-aligned with the members.
+    pub steal_counts: Vec<u64>,
 }
 
 /// Worker-round opcodes (stored in an `AtomicU8` between barriers).
@@ -52,13 +453,14 @@ const ROUND_SHUTDOWN: u8 = 2;
 /// pool. Each scheduling quantum — up to `queue_depth` consecutive
 /// requests, whose issue times are all computable up front because the
 /// closed loop deals them to distinct threads — is split into a parallel
-/// step phase (workers drain their members' sub-request queues) and a
-/// serial merge phase (the driver folds completions back into the
-/// schedule in request order). Cross-member decisions — mirrored-read
-/// routing through the [`ArrayManager`] — are serial points that truncate
-/// the quantum. Every member sees the exact call sequence the serial
+/// step phase (workers drain member sub-request queues) and a serial
+/// merge phase (the driver folds completions back into the schedule in
+/// request order). Cross-member decisions — mirrored-read routing
+/// through the [`ArrayManager`] — are serial points that truncate the
+/// quantum. Every member sees the exact call sequence the serial
 /// scheduler would have issued, so reports are byte-identical for any
-/// thread count.
+/// thread count *and* either [`ArraySched`] mode; which worker stepped a
+/// member is invisible to the simulation.
 pub struct ArrayScheduler {
     members: Vec<SsdSystem>,
     stripe: StripeMap,
@@ -66,6 +468,8 @@ pub struct ArrayScheduler {
     workload: Box<dyn Workload>,
     /// Worker threads for the parallel step phase (1 = serial path).
     member_threads: usize,
+    /// Which driver advances the members.
+    sched: ArraySched,
 
     // Closed-loop schedule state, mirroring the single-device engine.
     thread_completion: Vec<SimTime>,
@@ -81,6 +485,22 @@ pub struct ArrayScheduler {
     recovered_pages: u64,
     /// Pages unreadable on every replica that holds them.
     lost_pages: u64,
+
+    // Per-member scheduler telemetry. The lag/straggler counters are
+    // functions of the simulated timeline only, so they are identical in
+    // every driver mode and safe to report; epochs and steals are
+    // wall-clock artifacts and stay in `SchedTelemetry`.
+    member_lag: Vec<LatencyRecorder>,
+    straggler_requests: Vec<u64>,
+    straggler_time_us: Vec<u64>,
+    straggler_fgc: Vec<u64>,
+    steal_counts: Vec<u64>,
+    epochs: u64,
+
+    // Quantum-touch epoch marking: O(1) "already in this quantum's
+    // touched set?" without clearing an N-sized structure per quantum.
+    touch_mark: Vec<u64>,
+    touch_epoch: u64,
 
     // Scratch reused across requests so the steady state allocates nothing.
     sub_scratch: Vec<StripeExtent>,
@@ -110,12 +530,14 @@ impl ArrayScheduler {
             "member count disagrees with the stripe map"
         );
         let queue_depth = members[0].config().queue_depth.max(1) as usize;
+        let n = members.len();
         ArrayScheduler {
+            manager: ArrayManager::new(gc_mode, n),
             members,
             stripe,
-            manager: ArrayManager::new(gc_mode),
             workload,
             member_threads: 1,
+            sched: ArraySched::Steal,
             thread_completion: vec![SimTime::ZERO; queue_depth],
             next_thread: 0,
             schedule: SimTime::ZERO,
@@ -124,6 +546,14 @@ impl ArrayScheduler {
             split_requests: 0,
             recovered_pages: 0,
             lost_pages: 0,
+            member_lag: vec![LatencyRecorder::new(); n],
+            straggler_requests: vec![0; n],
+            straggler_time_us: vec![0; n],
+            straggler_fgc: vec![0; n],
+            steal_counts: vec![0; n],
+            epochs: 0,
+            touch_mark: vec![0; n],
+            touch_epoch: 0,
             sub_scratch: Vec::new(),
             retry_scratch: Vec::new(),
         }
@@ -172,6 +602,33 @@ impl ArrayScheduler {
         self.member_threads
     }
 
+    /// Selects the driver mode. Both modes produce byte-identical
+    /// reports; [`ArraySched::Barrier`] exists as the lockstep debug
+    /// oracle for [`ArraySched::Steal`] (the default).
+    pub fn set_sched(&mut self, sched: ArraySched) {
+        self.sched = sched;
+    }
+
+    /// The configured driver mode.
+    #[must_use]
+    pub fn sched(&self) -> ArraySched {
+        self.sched
+    }
+
+    /// Wall-clock scheduler telemetry from the last run (zeros before
+    /// the first). See [`SchedTelemetry`] for why this is separate from
+    /// the report.
+    #[must_use]
+    pub fn sched_telemetry(&self) -> SchedTelemetry {
+        SchedTelemetry {
+            sched: self.sched,
+            member_threads: self.member_threads,
+            epochs: self.epochs,
+            steals: self.steal_counts.iter().sum(),
+            steal_counts: self.steal_counts.clone(),
+        }
+    }
+
     /// Selects every member's GC migration path: bulk `copy_pages`
     /// (default) or the per-page loop. Observationally identical — an
     /// A/B measurement switch (see `Ftl::set_bulk_gc`).
@@ -211,10 +668,11 @@ impl ArrayScheduler {
     /// which indicates a misconfigured experiment.
     pub fn run(&mut self) -> ArrayReport {
         let threads = self.member_threads.min(self.members.len()).max(1);
-        if threads <= 1 {
-            self.run_serial()
-        } else {
-            self.run_parallel(threads)
+        match (self.sched, threads) {
+            (ArraySched::Barrier, 1) => self.run_serial(),
+            (ArraySched::Barrier, t) => self.run_barrier_pool(t),
+            (ArraySched::Steal, 1) => self.run_steal_inline(),
+            (ArraySched::Steal, t) => self.run_steal_pool(t),
         }
     }
 
@@ -232,40 +690,139 @@ impl ArrayScheduler {
             self.next_thread = (self.next_thread + 1) % self.thread_completion.len();
             let issue = self.thread_completion[thread] + req.gap;
             self.schedule = self.schedule.max(issue);
-            let completion = self.dispatch(req, issue);
-            self.thread_completion[thread] = completion;
-            self.latencies.record(completion.saturating_since(issue));
-            self.ops += 1;
+            let outcome = self.dispatch(req, issue);
+            self.commit_request(thread, issue, &outcome);
         }
         let end = self.end_time();
         self.build_report(end)
     }
 
-    /// Parallel driver: a persistent pool of `threads` scoped workers
-    /// advances members between barriers while this thread owns all
-    /// scheduling, routing and merging.
-    ///
-    /// Protocol per quantum: (serial, workers parked) merge the previous
-    /// round, handle any deferred mirrored read, pull up to `queue_depth`
-    /// requests and deal their sub-requests into member queues with issue
-    /// times computed up front → (parallel) workers step their members'
-    /// queues → repeat. Mirrored reads need a routing decision over live
-    /// member state, so they flush the quantum and run in the serial
-    /// phase; everything else — writes, trims, unmirrored reads — only
-    /// touches its own members and parallelizes freely.
-    fn run_parallel(&mut self, threads: usize) -> ArrayReport {
+    /// Work-stealing driver degenerated to one thread: the same quantum
+    /// structure as the pooled driver, executed inline without locks,
+    /// barriers, or worker threads. Exists so `--array-sched steal
+    /// --member-threads 1` exercises the exact dealing/merge code path
+    /// the pool uses.
+    fn run_steal_inline(&mut self) -> ArrayReport {
+        self.manager.apply_stagger(&mut self.members);
+        let do_prefill = self.members[0].config().prefill;
+        let queue_depth = self.thread_completion.len();
+        let mut lanes: Vec<Lane> = std::mem::take(&mut self.members)
+            .into_iter()
+            .map(Lane::new)
+            .collect();
+        if do_prefill {
+            for lane in &mut lanes {
+                lane.system.prefill();
+            }
+        }
+        let mut q = QuantumState::new(queue_depth, lanes.len());
+        loop {
+            if !self.serial_phase(&mut lanes[..], &mut q) {
+                break;
+            }
+            for &member in &q.touched {
+                lanes[member].run_queue();
+            }
+        }
+        for (i, lane) in lanes.into_iter().enumerate() {
+            self.absorb_lane(i, lane);
+        }
+        let end = self.end_time();
+        self.build_report(end)
+    }
+
+    /// Work-stealing driver: between the epoch-ordered serial sections,
+    /// workers claim the laggiest eligible members from a sharded agenda
+    /// and steal across shards once their own runs dry. The serial
+    /// sections lock only the lanes the quantum touched, so driver cost
+    /// per quantum is O(touched ∪ queue-depth), independent of the
+    /// member count.
+    fn run_steal_pool(&mut self, threads: usize) -> ArrayReport {
         self.manager.apply_stagger(&mut self.members);
         let do_prefill = self.members[0].config().prefill;
         let queue_depth = self.thread_completion.len();
         let lanes: Vec<Mutex<Lane>> = std::mem::take(&mut self.members)
             .into_iter()
-            .map(|system| {
-                Mutex::new(Lane {
-                    system,
-                    queue: Vec::new(),
-                    results: Vec::new(),
-                })
-            })
+            .map(|system| Mutex::new(Lane::new(system)))
+            .collect();
+        let queue = StealQueue::new(lanes.len(), threads);
+        let round = AtomicU8::new(ROUND_STEPS);
+        let start = Barrier::new(threads + 1);
+        let finish = Barrier::new(threads + 1);
+
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let (lanes, queue, round) = (&lanes, &queue, &round);
+                let (start, finish) = (&start, &finish);
+                scope.spawn(move || loop {
+                    start.wait();
+                    let op = round.load(Ordering::Acquire);
+                    if op == ROUND_SHUTDOWN {
+                        finish.wait();
+                        break;
+                    }
+                    while let Some((member, stolen)) = queue.pop(worker) {
+                        let mut lane = lanes[member].lock().expect("a member panicked");
+                        if op == ROUND_PREFILL {
+                            lane.system.prefill();
+                            continue;
+                        }
+                        if stolen {
+                            lane.steals += 1;
+                        }
+                        lane.run_queue();
+                    }
+                    finish.wait();
+                });
+            }
+
+            let run_round = |op: u8| {
+                round.store(op, Ordering::Release);
+                start.wait();
+                finish.wait();
+            };
+            if do_prefill {
+                let all: Vec<usize> = (0..lanes.len()).collect();
+                queue.publish(&all);
+                run_round(ROUND_PREFILL);
+            }
+
+            let mut q = QuantumState::new(queue_depth, lanes.len());
+            let mut table = LazyLanes::new(&lanes);
+            loop {
+                let more = self.serial_phase(&mut table, &mut q);
+                if !more {
+                    break;
+                }
+                let horizon = self.schedule;
+                order_agenda(&mut table, &mut q.touched, &mut q.agenda_keys, horizon);
+                table.release();
+                queue.publish(&q.touched);
+                run_round(ROUND_STEPS);
+            }
+            table.release();
+            run_round(ROUND_SHUTDOWN);
+        });
+
+        for (i, lane) in lanes.into_iter().enumerate() {
+            self.absorb_lane(i, lane.into_inner().expect("a member panicked"));
+        }
+        let end = self.end_time();
+        self.build_report(end)
+    }
+
+    /// Barrier-lockstep driver (the debug oracle): a persistent pool of
+    /// `threads` scoped workers advances a static member partition
+    /// between two global barriers per quantum, visiting every member of
+    /// its partition each round, while this thread owns all scheduling,
+    /// routing and merging over fully pre-locked lanes.
+    fn run_barrier_pool(&mut self, threads: usize) -> ArrayReport {
+        self.manager.apply_stagger(&mut self.members);
+        let do_prefill = self.members[0].config().prefill;
+        let queue_depth = self.thread_completion.len();
+        let lanes: Vec<Mutex<Lane>> = std::mem::take(&mut self.members)
+            .into_iter()
+            .map(|system| Mutex::new(Lane::new(system)))
             .collect();
         let round = AtomicU8::new(ROUND_STEPS);
         let start = Barrier::new(threads + 1);
@@ -284,18 +841,11 @@ impl ArrayScheduler {
                     }
                     for lane in lanes.iter().skip(worker).step_by(threads) {
                         let mut lane = lane.lock().expect("a member panicked");
-                        let lane = &mut *lane;
                         if op == ROUND_PREFILL {
                             lane.system.prefill();
                             continue;
                         }
-                        for i in 0..lane.queue.len() {
-                            let (sub, issue) = lane.queue[i];
-                            let completion = lane.system.step(sub, issue);
-                            let failed = lane.system.failed_read_lpns().len() as u64;
-                            lane.results.push((completion, failed));
-                        }
-                        lane.queue.clear();
+                        lane.run_queue();
                     }
                     finish.wait();
                 });
@@ -310,62 +860,21 @@ impl ArrayScheduler {
                 run_round(ROUND_PREFILL);
             }
 
-            // Quantum state, reused across rounds.
-            let mut quantum: Vec<(usize, SimTime)> = Vec::with_capacity(queue_depth);
-            let mut subs: Vec<(usize, usize, bool)> = Vec::new();
-            let mut cursors = vec![0usize; lanes.len()];
-            let mut completions: Vec<SimTime> = Vec::with_capacity(queue_depth);
-            let mut pending: Option<IoRequest> = None;
-            let mut exhausted = false;
+            let mut q = QuantumState::new(queue_depth, lanes.len());
             loop {
+                let more;
                 {
-                    // Serial phase. Workers are parked at the start
-                    // barrier, so every lock below is uncontended; holding
-                    // all guards gives the same indexed member access the
-                    // serial scheduler has.
+                    // Workers are parked at the start barrier, so every
+                    // lock below is uncontended; holding all guards gives
+                    // the same indexed member access the serial scheduler
+                    // has.
                     let mut guards: Vec<MutexGuard<'_, Lane>> = lanes
                         .iter()
                         .map(|l| l.lock().expect("a member panicked"))
                         .collect();
-                    if !quantum.is_empty() {
-                        self.merge_quantum(
-                            &mut guards,
-                            &quantum,
-                            &subs,
-                            &mut cursors,
-                            &mut completions,
-                        );
-                        quantum.clear();
-                        subs.clear();
-                    }
-                    if let Some(req) = pending.take() {
-                        self.dispatch_mirrored_read(req, &mut guards);
-                    }
-                    while !exhausted && quantum.len() < queue_depth {
-                        let Some(req) = self.workload.next_request() else {
-                            exhausted = true;
-                            break;
-                        };
-                        if req.kind == IoKind::Read
-                            && self.stripe.redundancy() == Redundancy::Mirror
-                        {
-                            if quantum.is_empty() {
-                                self.dispatch_mirrored_read(req, &mut guards);
-                            } else {
-                                // Routing must see the quantum's effects:
-                                // flush it, handle the read next round.
-                                pending = Some(req);
-                                break;
-                            }
-                        } else {
-                            self.enqueue_sub_requests(req, &mut guards, &mut quantum, &mut subs);
-                        }
-                    }
+                    more = self.serial_phase(&mut guards[..], &mut q);
                 }
-                if quantum.is_empty() {
-                    // Nothing left to step in parallel: pending is only
-                    // ever set alongside a non-empty quantum, so this
-                    // means the workload is exhausted and fully merged.
+                if !more {
                     break;
                 }
                 run_round(ROUND_STEPS);
@@ -373,32 +882,75 @@ impl ArrayScheduler {
             run_round(ROUND_SHUTDOWN);
         });
 
-        self.members = lanes
-            .into_iter()
-            .map(|l| l.into_inner().expect("a member panicked").system)
-            .collect();
+        for (i, lane) in lanes.into_iter().enumerate() {
+            self.absorb_lane(i, lane.into_inner().expect("a member panicked"));
+        }
         let end = self.end_time();
         self.build_report(end)
+    }
+
+    /// Moves a finished lane's member and telemetry back into `self`.
+    fn absorb_lane(&mut self, index: usize, lane: Lane) {
+        debug_assert_eq!(index, self.members.len());
+        self.members.push(lane.system);
+        self.member_lag[index].merge(&lane.lag);
+        self.steal_counts[index] += lane.steals;
+    }
+
+    /// One epoch-ordered serial section: folds the previous round's
+    /// results back into the closed-loop schedule, executes any deferred
+    /// mirrored read, then deals the next quantum into member queues.
+    /// Returns `false` once the quantum comes up empty — the workload is
+    /// exhausted and fully merged.
+    fn serial_phase<T: LaneTable + ?Sized>(&mut self, table: &mut T, q: &mut QuantumState) -> bool {
+        if !q.quantum.is_empty() {
+            self.merge_quantum(table, q);
+        }
+        if let Some(req) = q.pending.take() {
+            self.dispatch_mirrored_read(req, table);
+        }
+        self.touch_epoch += 1;
+        while !q.exhausted && q.quantum.len() < q.queue_depth {
+            let Some(req) = self.workload.next_request() else {
+                q.exhausted = true;
+                break;
+            };
+            if req.kind == IoKind::Read && self.stripe.redundancy() == Redundancy::Mirror {
+                if q.quantum.is_empty() {
+                    self.dispatch_mirrored_read(req, table);
+                } else {
+                    // Routing must see the quantum's effects: flush it,
+                    // handle the read next round.
+                    q.pending = Some(req);
+                    break;
+                }
+            } else {
+                self.enqueue_sub_requests(req, table, q);
+            }
+        }
+        if q.quantum.is_empty() {
+            false
+        } else {
+            self.epochs += 1;
+            true
+        }
     }
 
     /// Assigns `req` its closed-loop thread and issue time, then deals
     /// one sub-request per touched member (both replicas for mirrored
     /// writes/trims) into the member queues for the next parallel round.
-    fn enqueue_sub_requests(
+    fn enqueue_sub_requests<T: LaneTable + ?Sized>(
         &mut self,
         req: IoRequest,
-        guards: &mut [MutexGuard<'_, Lane>],
-        // (thread, issue) per logical request, in request order.
-        quantum: &mut Vec<(usize, SimTime)>,
-        // (request index, member, counts-lost-pages) per sub-request.
-        subs: &mut Vec<(usize, usize, bool)>,
+        table: &mut T,
+        q: &mut QuantumState,
     ) {
         let thread = self.next_thread;
         self.next_thread = (self.next_thread + 1) % self.thread_completion.len();
         let issue = self.thread_completion[thread] + req.gap;
         self.schedule = self.schedule.max(issue);
-        let req_idx = quantum.len();
-        quantum.push((thread, issue));
+        let req_idx = q.quantum.len();
+        q.quantum.push((thread, issue));
         self.sub_scratch.clear();
         self.stripe
             .split(req.lpn.0, req.pages, &mut self.sub_scratch);
@@ -414,61 +966,86 @@ impl ArrayScheduler {
                 lpn: Lpn(extent.member_lpn),
                 pages: extent.pages,
             };
-            guards[primary].queue.push((sub, issue));
+            self.touch(primary, &mut q.touched);
+            table.lane(primary).queue.push((sub, issue));
             // An unmirrored read's uncorrectable pages are lost (counted
             // at merge); mirrored reads never reach this path.
-            subs.push((
+            q.subs.push((
                 req_idx,
                 primary,
                 req.kind == IoKind::Read && replica.is_none(),
             ));
             if let Some(replica) = replica {
-                guards[replica].queue.push((sub, issue));
-                subs.push((req_idx, replica, false));
+                self.touch(replica, &mut q.touched);
+                table.lane(replica).queue.push((sub, issue));
+                q.subs.push((req_idx, replica, false));
             }
+        }
+    }
+
+    /// Adds `member` to the quantum's touched set if it is not there yet
+    /// (O(1) via the epoch mark, no per-quantum clearing).
+    fn touch(&mut self, member: usize, touched: &mut Vec<usize>) {
+        if self.touch_mark[member] != self.touch_epoch {
+            self.touch_mark[member] = self.touch_epoch;
+            touched.push(member);
         }
     }
 
     /// Folds a finished parallel round back into the closed-loop schedule
     /// in request order: logical completion = slowest sub-request, then
-    /// thread completion / latency / op accounting exactly as the serial
-    /// loop performs per request.
-    fn merge_quantum(
-        &mut self,
-        guards: &mut [MutexGuard<'_, Lane>],
-        quantum: &[(usize, SimTime)],
-        subs: &[(usize, usize, bool)],
-        cursors: &mut [usize],
-        completions: &mut Vec<SimTime>,
-    ) {
-        cursors.fill(0);
-        completions.clear();
-        completions.extend(quantum.iter().map(|&(_, issue)| issue));
-        for &(req_idx, member, counts_lost) in subs {
+    /// thread completion / latency / straggler accounting exactly as the
+    /// serial loop performs per request. Only the quantum's touched lanes
+    /// are read and reset.
+    fn merge_quantum<T: LaneTable + ?Sized>(&mut self, table: &mut T, q: &mut QuantumState) {
+        q.outcomes.clear();
+        q.outcomes
+            .extend(q.quantum.iter().map(|&(_, issue)| ReqOutcome::new(issue)));
+        for &(req_idx, member, counts_lost) in &q.subs {
             // Each lane's results are in its queue order, which is the
             // order its subs were dealt — a per-member cursor aligns them.
-            let (done, failed) = guards[member].results[cursors[member]];
-            cursors[member] += 1;
-            completions[req_idx] = completions[req_idx].max(done);
+            let result = table.lane(member).results[q.cursors[member]];
+            q.cursors[member] += 1;
+            q.outcomes[req_idx].observe(member, result.done, result.fgc);
             if counts_lost {
-                self.lost_pages += failed;
+                self.lost_pages += result.failed_reads;
             }
         }
-        for lane in guards.iter_mut() {
-            lane.results.clear();
+        for &member in &q.touched {
+            table.lane(member).results.clear();
+            q.cursors[member] = 0;
         }
-        for (&(thread, issue), &completion) in quantum.iter().zip(completions.iter()) {
-            self.thread_completion[thread] = completion;
-            self.latencies.record(completion.saturating_since(issue));
-            self.ops += 1;
+        for (&(thread, issue), outcome) in q.quantum.iter().zip(q.outcomes.iter()) {
+            self.commit_request(thread, issue, outcome);
+        }
+        q.quantum.clear();
+        q.subs.clear();
+        q.touched.clear();
+    }
+
+    /// Finishes one logical request: thread completion, volume latency,
+    /// op count, and straggler attribution for the member that held the
+    /// request back (multi-member requests only — see [`ReqOutcome`]).
+    fn commit_request(&mut self, thread: usize, issue: SimTime, outcome: &ReqOutcome) {
+        self.thread_completion[thread] = outcome.completion;
+        self.latencies
+            .record(outcome.completion.saturating_since(issue));
+        self.ops += 1;
+        if outcome.subs >= 2 && outcome.straggler != usize::MAX {
+            self.straggler_requests[outcome.straggler] += 1;
+            self.straggler_time_us[outcome.straggler] += outcome
+                .completion
+                .saturating_since(outcome.runner_up)
+                .as_micros();
+            if outcome.fgc {
+                self.straggler_fgc[outcome.straggler] += 1;
+            }
         }
     }
 
     /// Serial-phase handler for a mirrored read: the replica choice reads
     /// both members' live GC signals, so it cannot overlap other work.
-    /// Mirrors the `(IoKind::Read, Some(replica))` arm of
-    /// [`dispatch`](Self::dispatch) exactly, over locked lanes.
-    fn dispatch_mirrored_read(&mut self, req: IoRequest, guards: &mut [MutexGuard<'_, Lane>]) {
+    fn dispatch_mirrored_read<T: LaneTable + ?Sized>(&mut self, req: IoRequest, table: &mut T) {
         let thread = self.next_thread;
         self.next_thread = (self.next_thread + 1) % self.thread_completion.len();
         let issue = self.thread_completion[thread] + req.gap;
@@ -479,7 +1056,7 @@ impl ArrayScheduler {
         if self.sub_scratch.len() > 1 {
             self.split_requests += 1;
         }
-        let mut completion = issue;
+        let mut outcome = ReqOutcome::new(issue);
         for i in 0..self.sub_scratch.len() {
             let extent = self.sub_scratch[i];
             let (primary, replica) = self.stripe.devices_of(extent.column);
@@ -490,33 +1067,21 @@ impl ArrayScheduler {
                 lpn: Lpn(extent.member_lpn),
                 pages: extent.pages,
             };
-            guards[primary].system.advance_to(issue);
-            guards[replica].system.advance_to(issue);
-            let device = self.manager.choose_between(
-                primary,
-                &guards[primary].system,
-                replica,
-                &guards[replica].system,
+            let (p, r) = table.pair(primary, replica);
+            let routed = route_mirrored_sub(
+                &mut self.manager,
+                &mut self.retry_scratch,
+                &mut self.member_lag,
+                (primary, &mut p.system),
+                (replica, &mut r.system),
+                sub,
                 issue,
             );
-            let mut done = guards[device].system.step(sub, issue);
-            if !guards[device].system.failed_read_lpns().is_empty() {
-                self.retry_scratch.clear();
-                self.retry_scratch
-                    .extend_from_slice(guards[device].system.failed_read_lpns());
-                let other = if device == primary { replica } else { primary };
-                let (repaired_at, still_failed) = guards[other]
-                    .system
-                    .recovery_read(&self.retry_scratch, issue);
-                done = done.max(repaired_at);
-                self.recovered_pages += self.retry_scratch.len() as u64 - still_failed;
-                self.lost_pages += still_failed;
-            }
-            completion = completion.max(done);
+            self.recovered_pages += routed.recovered_pages;
+            self.lost_pages += routed.lost_pages;
+            outcome.observe(routed.device, routed.done, routed.fgc);
         }
-        self.thread_completion[thread] = completion;
-        self.latencies.record(completion.saturating_since(issue));
-        self.ops += 1;
+        self.commit_request(thread, issue, &outcome);
     }
 
     /// The run's end time: the last thread completion or scheduled issue.
@@ -530,16 +1095,16 @@ impl ArrayScheduler {
     }
 
     /// Splits one logical request, fans the sub-requests out to their
-    /// members at `issue`, and returns the logical completion time (the
-    /// slowest sub-request's completion).
-    fn dispatch(&mut self, req: IoRequest, issue: SimTime) -> SimTime {
+    /// members at `issue`, and returns the request's outcome (completion
+    /// = the slowest sub-request's, plus straggler attribution).
+    fn dispatch(&mut self, req: IoRequest, issue: SimTime) -> ReqOutcome {
         self.sub_scratch.clear();
         self.stripe
             .split(req.lpn.0, req.pages, &mut self.sub_scratch);
         if self.sub_scratch.len() > 1 {
             self.split_requests += 1;
         }
-        let mut completion = issue;
+        let mut outcome = ReqOutcome::new(issue);
         for i in 0..self.sub_scratch.len() {
             let extent = self.sub_scratch[i];
             let (primary, replica) = self.stripe.devices_of(extent.column);
@@ -551,53 +1116,51 @@ impl ArrayScheduler {
             };
             match (req.kind, replica) {
                 (IoKind::Read, Some(replica)) => {
-                    // A mirrored read has a choice — take the replica
-                    // that is idle (not mid-GC or mid-transfer) or, on a
-                    // tie, the one further from its FGC threshold. Bring
-                    // both candidates' clocks up to the issue time first:
-                    // members process periodic work lazily, so an
-                    // un-advanced replica would report a stale (idle)
-                    // `busy_until` and attract exactly the reads its
-                    // overdue flush is about to stall.
-                    self.members[primary].advance_to(issue);
-                    self.members[replica].advance_to(issue);
-                    let device =
-                        self.manager
-                            .choose_replica(primary, replica, &self.members, issue);
-                    let mut done = self.members[device].step(sub, issue);
-                    if !self.members[device].failed_read_lpns().is_empty() {
-                        // Uncorrectable pages on the chosen replica: repair
-                        // by re-reading the surviving copy. Only pages that
-                        // fail on *both* replicas are lost.
-                        self.retry_scratch.clear();
-                        self.retry_scratch
-                            .extend_from_slice(self.members[device].failed_read_lpns());
-                        let other = if device == primary { replica } else { primary };
-                        let (repaired_at, still_failed) =
-                            self.members[other].recovery_read(&self.retry_scratch, issue);
-                        done = done.max(repaired_at);
-                        self.recovered_pages += self.retry_scratch.len() as u64 - still_failed;
-                        self.lost_pages += still_failed;
-                    }
-                    completion = completion.max(done);
+                    let (p, r) = pair_mut(&mut self.members, primary, replica);
+                    let routed = route_mirrored_sub(
+                        &mut self.manager,
+                        &mut self.retry_scratch,
+                        &mut self.member_lag,
+                        (primary, p),
+                        (replica, r),
+                        sub,
+                        issue,
+                    );
+                    self.recovered_pages += routed.recovered_pages;
+                    self.lost_pages += routed.lost_pages;
+                    outcome.observe(routed.device, routed.done, routed.fgc);
                 }
                 (IoKind::Read, None) => {
-                    let done = self.members[primary].step(sub, issue);
+                    let (done, fgc) = self.step_member(primary, sub, issue);
                     // No redundancy: every uncorrectable page is lost.
                     self.lost_pages += self.members[primary].failed_read_lpns().len() as u64;
-                    completion = completion.max(done);
+                    outcome.observe(primary, done, fgc);
                 }
                 (_, Some(replica)) => {
                     // Writes and trims must keep the replicas coherent.
-                    completion = completion.max(self.members[primary].step(sub, issue));
-                    completion = completion.max(self.members[replica].step(sub, issue));
+                    let (done, fgc) = self.step_member(primary, sub, issue);
+                    outcome.observe(primary, done, fgc);
+                    let (done, fgc) = self.step_member(replica, sub, issue);
+                    outcome.observe(replica, done, fgc);
                 }
                 (_, None) => {
-                    completion = completion.max(self.members[primary].step(sub, issue));
+                    let (done, fgc) = self.step_member(primary, sub, issue);
+                    outcome.observe(primary, done, fgc);
                 }
             }
         }
-        completion
+        outcome
+    }
+
+    /// Steps one member with the same telemetry [`Lane::run_queue`]
+    /// records, so serial and parallel runs report identical lag
+    /// histograms and FGC attribution.
+    fn step_member(&mut self, member: usize, sub: IoRequest, issue: SimTime) -> (SimTime, bool) {
+        let lag = issue.saturating_since(self.members[member].virtual_clock());
+        self.member_lag[member].record(lag);
+        let fgc_before = self.members[member].fgc_invocations();
+        let done = self.members[member].step(sub, issue);
+        (done, self.members[member].fgc_invocations() > fgc_before)
     }
 
     fn build_report(&mut self, end: SimTime) -> ArrayReport {
@@ -606,6 +1169,20 @@ impl ArrayScheduler {
         let lat = |q: f64| self.latencies.percentile(q).map_or(0, |d| d.as_micros());
         let host_pages: u64 = member_reports.iter().map(|r| r.host_pages_written).sum();
         let nand_pages: u64 = member_reports.iter().map(|r| r.nand_pages_programmed).sum();
+        let member_sched = (0..self.members.len())
+            .map(|i| {
+                let lag = &self.member_lag[i];
+                MemberSched {
+                    steps: lag.count(),
+                    lag_mean_us: lag.mean().map_or(0, |d| d.as_micros()),
+                    lag_p99_us: lag.percentile(0.99).map_or(0, |d| d.as_micros()),
+                    lag_max_us: lag.max().map_or(0, |d| d.as_micros()),
+                    straggler_requests: self.straggler_requests[i],
+                    straggler_fgc_requests: self.straggler_fgc[i],
+                    straggler_time_us: self.straggler_time_us[i],
+                }
+            })
+            .collect();
         ArrayReport {
             members: self.members.len(),
             chunk_pages: self.stripe.chunk_pages(),
@@ -628,6 +1205,7 @@ impl ArrayScheduler {
             erase_spread: WearReport::from_counts(member_reports.iter().map(|r| r.nand_erases)),
             fgc_request_stalls: member_reports.iter().map(|r| r.fgc_request_stalls).sum(),
             bgc_blocks: member_reports.iter().map(|r| r.bgc_blocks).sum(),
+            member_sched,
             degraded: {
                 let any_member_degraded = member_reports.iter().any(|r| r.degraded.is_some());
                 (any_member_degraded || self.recovered_pages > 0 || self.lost_pages > 0).then(
@@ -646,12 +1224,38 @@ impl ArrayScheduler {
     }
 }
 
+/// Reorders the touched set laggiest-first for the next round: most
+/// queued sub-requests, then most virtual time behind the horizon, then
+/// lowest index. Purely a wall-clock optimization (LPT-style longest
+/// processing time first) — execution order cannot affect results.
+fn order_agenda<T: LaneTable + ?Sized>(
+    table: &mut T,
+    touched: &mut [usize],
+    keys: &mut Vec<(usize, u64, u64)>,
+    horizon: SimTime,
+) {
+    keys.clear();
+    for &member in touched.iter() {
+        let lane = table.lane(member);
+        keys.push((
+            member,
+            lane.queue.len() as u64,
+            lane.system.time_behind(horizon).as_micros(),
+        ));
+    }
+    keys.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
+    for (slot, key) in touched.iter_mut().zip(keys.iter()) {
+        *slot = key.0;
+    }
+}
+
 impl std::fmt::Debug for ArrayScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ArrayScheduler")
             .field("members", &self.members.len())
             .field("stripe", &self.stripe)
             .field("gc_mode", &self.manager.mode())
+            .field("sched", &self.sched)
             .field("ops", &self.ops)
             .finish_non_exhaustive()
     }

@@ -307,6 +307,50 @@ mod tests {
     }
 
     #[test]
+    fn rack_scale_mapping_stays_a_bijection() {
+        // The chunk math must not lose precision at rack member counts:
+        // the stripe index arithmetic multiplies the column count into
+        // member LPNs, which at 256 members and large volumes is where a
+        // narrow intermediate would overflow first.
+        for (members, chunk, redundancy) in [
+            (64, 16, Redundancy::None),
+            (64, 16, Redundancy::Mirror),
+            (256, 32, Redundancy::None),
+            (256, 8, Redundancy::Mirror),
+        ] {
+            let map = StripeMap::new(members, chunk, redundancy);
+            // A volume far past u32 page indices, stepped sparsely.
+            for lpn in (0..1u64 << 40).step_by((1 << 29) + 12_345) {
+                let (c, m) = map.locate(lpn);
+                assert!(c < map.columns());
+                assert_eq!(map.global(c, m), lpn, "{members}x{chunk}: lpn {lpn}");
+            }
+            // Every device is reachable once the volume spans a full
+            // rotation of the columns.
+            let rotation = map.columns() as u64 * chunk;
+            let mut touched = vec![false; map.columns()];
+            for lpn in (0..rotation).step_by(chunk as usize) {
+                touched[map.locate(lpn).0] = true;
+            }
+            assert!(touched.iter().all(|&t| t), "{members}x{chunk}: idle column");
+        }
+    }
+
+    #[test]
+    fn rack_scale_member_extent_matches_brute_force() {
+        let map = StripeMap::new(64, 16, Redundancy::None);
+        let volume = 64 * 16 * 5 + 7;
+        let mut max_plus_one = vec![0u64; 64];
+        for lpn in 0..volume {
+            let (c, m) = map.locate(lpn);
+            max_plus_one[c] = max_plus_one[c].max(m + 1);
+        }
+        for (c, &expected) in max_plus_one.iter().enumerate() {
+            assert_eq!(map.member_extent(c, volume), expected, "column {c}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "must be even")]
     fn mirror_rejects_odd_member_count() {
         let _ = StripeMap::new(3, 8, Redundancy::Mirror);

@@ -41,9 +41,12 @@
 //!   --bench-json <path>    also write a machine-readable perf record (host
 //!                          pages simulated per wall-clock second, per-phase
 //!                          timing) for tracking simulator throughput; the
-//!                          record schema is `ssdsim-bench/5` (array runs
-//!                          add an `array` section plus per-member entries
-//!                          with their own `phase_*_secs` breakdowns)
+//!                          record schema is `ssdsim-bench/6` (array runs
+//!                          add an `array` section with scheduler telemetry
+//!                          — driver mode, epochs, steal counts — plus
+//!                          per-member entries with their own
+//!                          `phase_*_secs` breakdowns and straggler
+//!                          accounting)
 //!   --array <N>            simulate an N-member striped array instead of a
 //!                          single device (`--array 1` reproduces the
 //!                          single-device reports exactly); workload working
@@ -56,8 +59,14 @@
 //!                          stagger member flusher/BGC phases or leave them
 //!                          aligned                          (default staggered)
 //!   --member-threads <N>   worker threads stepping array members in
-//!                          parallel (clamped to the member count); reports
-//!                          are byte-identical for any value    (default 1)
+//!                          parallel (must not exceed the member count);
+//!                          reports are byte-identical for any value
+//!                                                              (default 1)
+//!   --array-sched <steal|barrier>
+//!                          member-stepping driver: deterministic
+//!                          work-stealing (scales to hundreds of members)
+//!                          or the lockstep barrier debug oracle; reports
+//!                          are byte-identical either way    (default steal)
 //!   --gc-migration <bulk|looped>
 //!                          GC migration path: vectorized copy_pages or the
 //!                          per-page loop; observationally identical, an
@@ -65,7 +74,7 @@
 //!   --queue-depth <N>      closed-loop application threads  (default: config)
 //! ```
 
-use jitgc_array::{ArrayConfig, ArrayReport, GcMode, Redundancy};
+use jitgc_array::{ArrayConfig, ArrayReport, ArraySched, GcMode, Redundancy, SchedTelemetry};
 use jitgc_bench::{default_threads, run_grid, run_grid_capped, PolicyKind};
 use jitgc_core::system::{ManagerPlacement, PhaseProfile, SsdSystem, SystemConfig, VictimKind};
 use jitgc_nand::FaultConfig;
@@ -104,6 +113,7 @@ struct Args {
     mirror: bool,
     gc_mode: GcMode,
     member_threads: usize,
+    array_sched: ArraySched,
     bulk_gc: bool,
     queue_depth: Option<u32>,
 }
@@ -139,6 +149,7 @@ impl Default for Args {
             mirror: false,
             gc_mode: GcMode::Staggered,
             member_threads: 1,
+            array_sched: ArraySched::Steal,
             bulk_gc: true,
             queue_depth: None,
         }
@@ -159,6 +170,7 @@ fn usage() -> ! {
     eprintln!("              [--fault-erase F] [--fault-read F]");
     eprintln!("              [--array N] [--stripe-kb K] [--mirror]");
     eprintln!("              [--gc-mode staggered|unsync] [--member-threads N]");
+    eprintln!("              [--array-sched steal|barrier]");
     eprintln!("              [--gc-migration bulk|looped] [--queue-depth N]");
     eprintln!("see the module docs (`ssdsim.rs`) for value sets");
     std::process::exit(2)
@@ -269,6 +281,16 @@ fn parse_args() -> Args {
                     usage()
                 }
             }
+            "--array-sched" => {
+                args.array_sched = match value().as_str() {
+                    "steal" => ArraySched::Steal,
+                    "barrier" => ArraySched::Barrier,
+                    other => {
+                        eprintln!("unknown array scheduler: {other}");
+                        usage()
+                    }
+                }
+            }
             "--gc-migration" => {
                 args.bulk_gc = match value().as_str() {
                     "bulk" => true,
@@ -311,7 +333,7 @@ fn perf_record(
     // workload generation and closed-loop scheduling).
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/5")
+        .field("schema", "ssdsim-bench/6")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.victim_policy.as_str())
@@ -361,10 +383,14 @@ fn perf_record(
         .build()
 }
 
-/// The `--bench-json` perf record of an array run (`ssdsim-bench/5`):
+/// The `--bench-json` perf record of an array run (`ssdsim-bench/6`):
 /// the aggregate throughput fields of [`perf_record`] plus an `array`
-/// section and one entry per member with its page counts and per-phase
-/// wall-clock breakdown.
+/// section with scheduler telemetry and one entry per member with its
+/// page counts, per-phase wall-clock breakdown, and straggler accounting.
+///
+/// Steal counts and epoch totals are wall-clock artifacts (they vary run
+/// to run like `wall_secs` does), which is why they live here and not in
+/// the deterministic `--json` report.
 fn array_perf_record(
     args: &Args,
     report: &ArrayReport,
@@ -372,6 +398,7 @@ fn array_perf_record(
     run_secs: f64,
     profile: &PhaseProfile,
     member_profiles: &[PhaseProfile],
+    telemetry: &SchedTelemetry,
 ) -> JsonValue {
     let wall_secs = setup_secs + run_secs;
     let per_sec = |count: u64| -> f64 {
@@ -395,7 +422,9 @@ fn array_perf_record(
         .member_reports
         .iter()
         .zip(member_profiles)
-        .map(|(r, p)| {
+        .enumerate()
+        .map(|(i, (r, p))| {
+            let sched = &report.member_sched[i];
             ObjectBuilder::new()
                 .field("ops", r.ops)
                 .field("host_pages_written", r.host_pages_written)
@@ -411,12 +440,25 @@ fn array_perf_record(
                 .field("phase_bgc_secs", p.bgc.as_secs_f64())
                 .field("phase_reporting_secs", p.reporting.as_secs_f64())
                 .field("phase_gc_copy_secs", p.gc_copy.as_secs_f64())
+                // Schema 6: straggler accounting (simulated-time facts)
+                // and this member's steal count (a wall-clock fact).
+                .field("steps", sched.steps)
+                .field("lag_mean_us", sched.lag_mean_us)
+                .field("lag_p99_us", sched.lag_p99_us)
+                .field("lag_max_us", sched.lag_max_us)
+                .field("straggler_requests", sched.straggler_requests)
+                .field("straggler_fgc_requests", sched.straggler_fgc_requests)
+                .field("straggler_time_us", sched.straggler_time_us)
+                .field(
+                    "steal_count",
+                    telemetry.steal_counts.get(i).copied().unwrap_or(0),
+                )
                 .build()
         })
         .collect();
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/5")
+        .field("schema", "ssdsim-bench/6")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.member_reports[0].victim_policy.as_str())
@@ -465,6 +507,12 @@ fn array_perf_record(
                 .field("gc_mode", report.gc_mode.as_str())
                 .field("split_requests", report.split_requests)
                 .field("routed_reads", report.routed_reads)
+                // Schema 6: which driver stepped the members and how much
+                // work moved between workers (zero under `barrier` or
+                // with one thread).
+                .field("array_sched", telemetry.sched.name())
+                .field("epochs", telemetry.epochs)
+                .field("steals", telemetry.steals)
                 .build(),
         )
         .field("member_perf", JsonValue::Array(members))
@@ -483,12 +531,32 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     } else {
         Redundancy::None
     };
-    if redundancy == Redundancy::Mirror && (members < 2 || !members.is_multiple_of(2)) {
-        eprintln!("--mirror needs an even member count, got {members}");
+    let page_size = system.ftl.geometry().page_size().as_u64();
+    // The stripe chunk is a whole number of pages; a non-multiple would
+    // silently truncate the requested size, so reject it up front.
+    if !(args.stripe_kb * 1024).is_multiple_of(page_size) {
+        eprintln!(
+            "--stripe-kb {} is not a multiple of the {page_size}-byte page size",
+            args.stripe_kb
+        );
         std::process::exit(2)
     }
-    let page_size = system.ftl.geometry().page_size().as_u64();
-    let chunk_pages = (args.stripe_kb * 1024 / page_size).max(1);
+    let chunk_pages = args.stripe_kb * 1024 / page_size;
+    let config = ArrayConfig {
+        members,
+        chunk_pages,
+        redundancy,
+        gc_mode: args.gc_mode,
+        sched: args.array_sched,
+        member_threads: args.member_threads,
+        system: system.clone(),
+    };
+    // Geometry and threading errors surface here as CLI diagnostics, not
+    // as panics deep in the scheduler.
+    if let Err(message) = config.validate() {
+        eprintln!("invalid array configuration: {message}");
+        std::process::exit(2)
+    }
     let columns = match redundancy {
         Redundancy::None => members as u64,
         Redundancy::Mirror => members as u64 / 2,
@@ -514,6 +582,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     let profile_phases = args.bench_json.is_some();
     // Member stepping uses `member_threads` workers *inside* each run, so
     // cap the sweep width to keep the product within the machine.
+    let config = &config;
     let runs = run_grid_capped(
         &args.benchmarks,
         threads,
@@ -521,14 +590,6 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         |&benchmark| {
             let setup_start = Instant::now();
             let workload = benchmark.build(workload_config);
-            let config = ArrayConfig {
-                members,
-                chunk_pages,
-                redundancy,
-                gc_mode: args.gc_mode,
-                member_threads: args.member_threads,
-                system: system.clone(),
-            };
             let mut sim = config.build(|cfg| policy.build(cfg), workload);
             sim.set_bulk_gc(args.bulk_gc);
             if profile_phases {
@@ -545,6 +606,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
                 run_secs,
                 sim.phase_profile(),
                 member_profiles,
+                sim.sched_telemetry(),
             )
         },
     );
@@ -552,16 +614,19 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     if let Some(path) = &args.bench_json {
         let records: Vec<JsonValue> = runs
             .iter()
-            .map(|(report, setup_secs, run_secs, profile, member_profiles)| {
-                array_perf_record(
-                    args,
-                    report,
-                    *setup_secs,
-                    *run_secs,
-                    profile,
-                    member_profiles,
-                )
-            })
+            .map(
+                |(report, setup_secs, run_secs, profile, member_profiles, telemetry)| {
+                    array_perf_record(
+                        args,
+                        report,
+                        *setup_secs,
+                        *run_secs,
+                        profile,
+                        member_profiles,
+                        telemetry,
+                    )
+                },
+            )
             .collect();
         let text = if records.len() == 1 {
             records[0].to_pretty()
@@ -573,7 +638,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     }
 
     if args.json {
-        let reports: Vec<JsonValue> = runs.iter().map(|(r, _, _, _, _)| r.to_json()).collect();
+        let reports: Vec<JsonValue> = runs.iter().map(|(r, _, _, _, _, _)| r.to_json()).collect();
         let text = if reports.len() == 1 {
             reports[0].to_pretty()
         } else {
@@ -588,7 +653,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
             "{:<12}{:>10}{:>8}{:>10}{:>10}{:>12}{:>12}",
             "benchmark", "IOPS", "WAF", "FGC", "BGC blk", "p99 µs", "p999 µs"
         );
-        for (report, _, _, _, _) in &runs {
+        for (report, _, _, _, _, _) in &runs {
             println!(
                 "{:<12}{:>10.0}{:>8}{:>10}{:>10}{:>12}{:>12}",
                 report.workload,
@@ -602,10 +667,15 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         }
         return;
     }
-    let (report, _, _, _, _) = runs.into_iter().next().expect("one benchmark ran");
+    let (report, _, _, _, _, _) = runs.into_iter().next().expect("one benchmark ran");
     println!(
         "array           {} members, {} KiB chunks, {}, {}",
         report.members, args.stripe_kb, report.redundancy, report.gc_mode
+    );
+    println!(
+        "scheduler       {}, {} member thread(s)",
+        args.array_sched.name(),
+        args.member_threads
     );
     println!("policy          {}", report.policy);
     println!("workload        {}", report.workload);

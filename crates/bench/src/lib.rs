@@ -15,7 +15,7 @@
 
 mod runner;
 
-pub use runner::{default_threads, run_grid, run_grid_capped};
+pub use runner::{capped_sweep_width, default_threads, run_grid, run_grid_capped};
 
 use jitgc_core::policy::{AdpGc, GcPolicy, IdleGc, JitGc, NoBgc, ReservedCapacity};
 use jitgc_core::system::{SimReport, SsdSystem, SystemConfig};

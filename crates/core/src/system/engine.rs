@@ -331,6 +331,36 @@ impl SsdSystem {
         }
     }
 
+    /// This member's virtual clock: the next instant at which it owes
+    /// periodic host work (flusher tick, predictor poll, policy
+    /// decision). Everything strictly before it has already been
+    /// processed, so an external scheduler can treat it as "how far this
+    /// member has advanced".
+    #[must_use]
+    pub fn virtual_clock(&self) -> SimTime {
+        self.next_tick
+    }
+
+    /// How far this member's clock trails `horizon` — the span of
+    /// periodic work it still has to chew through before it can execute
+    /// a request issued at the horizon. O(1): an external scheduler
+    /// calls this per member per quantum to order work laggiest-first,
+    /// so it must not touch FTL state. Zero when the member is already
+    /// at or past the horizon.
+    #[must_use]
+    pub fn time_behind(&self, horizon: SimTime) -> SimDuration {
+        horizon.saturating_since(self.next_tick)
+    }
+
+    /// Cumulative foreground-GC invocations so far. Sampling this around
+    /// a [`step`](SsdSystem::step) tells an external scheduler whether
+    /// the step stalled on foreground GC — the per-member straggler
+    /// attribution the array layer reports.
+    #[must_use]
+    pub fn fgc_invocations(&self) -> u64 {
+        self.ftl.stats().fgc_invocations
+    }
+
     /// Ages the device: writes the whole working set once in scrambled
     /// order (a Fisher–Yates permutation, modelling how a filesystem's
     /// allocator sprays logical addresses over time), then resets every

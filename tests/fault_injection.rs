@@ -4,7 +4,7 @@
 //! to ship — with every fault knob at zero, nothing anywhere in the
 //! pipeline changes.
 
-use jitgc_repro::array::{ArrayConfig, GcMode, Redundancy};
+use jitgc_repro::array::{ArrayConfig, ArraySched, GcMode, Redundancy};
 use jitgc_repro::core::policy::{GcPolicy, JitGc, NoBgc};
 use jitgc_repro::core::system::{SimReport, SsdSystem, SystemConfig};
 use jitgc_repro::nand::FaultConfig;
@@ -82,6 +82,7 @@ fn zero_rate_fault_model_is_byte_identical_to_none() {
             chunk_pages: 16,
             redundancy: Redundancy::Mirror,
             gc_mode: GcMode::Staggered,
+            sched: ArraySched::Steal,
             member_threads: 1,
             system: system.clone(),
         }
@@ -225,6 +226,7 @@ fn one_member_array_preserves_the_fault_stream() {
         chunk_pages: 16,
         redundancy: Redundancy::None,
         gc_mode: GcMode::Staggered,
+        sched: ArraySched::Steal,
         member_threads: 1,
         system: config.clone(),
     }
@@ -263,6 +265,7 @@ fn mirror_recovers_uncorrectable_reads_from_the_surviving_replica() {
         chunk_pages: 16,
         redundancy: Redundancy::Mirror,
         gc_mode: GcMode::Staggered,
+        sched: ArraySched::Steal,
         member_threads: 1,
         system: config.clone(),
     }

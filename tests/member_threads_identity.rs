@@ -1,11 +1,14 @@
 //! Parallel member stepping is an implementation detail: whatever worker
-//! count steps the members, the array report must be **byte-identical**
-//! (as serialized JSON) to the serial scheduler's — across striped and
-//! mirrored layouts, and with wear-dependent fault injection active (the
-//! fault timeline is part of the identity, so a reordered RNG draw
-//! anywhere would show up here).
+//! count steps the members — and whichever driver schedules them, the
+//! work-stealing scheduler or the lockstep barrier oracle — the array
+//! report must be **byte-identical** (as serialized JSON) to the serial
+//! scheduler's. That holds across striped and mirrored layouts, with
+//! wear-dependent fault injection active (the fault timeline is part of
+//! the identity, so a reordered RNG draw anywhere would show up here),
+//! and at rack scale (64 members), where stealing actually moves work
+//! between shards.
 
-use jitgc_repro::array::{ArrayConfig, GcMode, Redundancy};
+use jitgc_repro::array::{ArrayConfig, ArraySched, GcMode, Redundancy};
 use jitgc_repro::core::policy::{GcPolicy, JitGc};
 use jitgc_repro::core::system::SystemConfig;
 use jitgc_repro::nand::FaultConfig;
@@ -18,13 +21,19 @@ fn jit(config: &SystemConfig) -> Box<dyn GcPolicy> {
 
 /// The standard sizing, scaled by the column count so each member carries
 /// a standalone device's load.
-fn workload_for(config: &SystemConfig, columns: u64, seed: u64) -> Box<dyn Workload> {
+fn workload_for(
+    config: &SystemConfig,
+    columns: u64,
+    seed: u64,
+    secs: u64,
+    iops: f64,
+) -> Box<dyn Workload> {
     let per_member = config.ftl.user_pages() - config.ftl.op_pages() / 2;
     BenchmarkKind::Ycsb.build(
         WorkloadConfig::builder()
             .working_set_pages(per_member * columns)
-            .duration(SimDuration::from_secs(15))
-            .mean_iops(400.0 * columns as f64)
+            .duration(SimDuration::from_secs(secs))
+            .mean_iops(iops * columns as f64)
             .burst_mean(128.0)
             .seed(seed)
             .build(),
@@ -33,11 +42,13 @@ fn workload_for(config: &SystemConfig, columns: u64, seed: u64) -> Box<dyn Workl
 
 fn array_json(
     system: &SystemConfig,
+    members: usize,
     redundancy: Redundancy,
+    sched: ArraySched,
     member_threads: usize,
     seed: u64,
+    (secs, iops): (u64, f64),
 ) -> String {
-    let members = 4;
     let columns = match redundancy {
         Redundancy::None => members as u64,
         Redundancy::Mirror => members as u64 / 2,
@@ -47,26 +58,53 @@ fn array_json(
         chunk_pages: 16,
         redundancy,
         gc_mode: GcMode::Staggered,
+        sched,
         member_threads,
         system: system.clone(),
     }
-    .build(jit, workload_for(system, columns, seed))
+    .build(jit, workload_for(system, columns, seed, secs, iops))
     .run()
     .to_json()
     .to_pretty()
 }
+
+/// Every (driver, thread-count) cell beyond the serial barrier baseline.
+const CELLS: [(ArraySched, usize); 5] = [
+    (ArraySched::Steal, 1),
+    (ArraySched::Steal, 2),
+    (ArraySched::Steal, 4),
+    (ArraySched::Barrier, 2),
+    (ArraySched::Barrier, 4),
+];
 
 /// Striped (no redundancy): members only interact through routing-free
 /// address splitting, so every quantum runs fully parallel.
 #[test]
 fn striped_array_is_identical_for_any_worker_count() {
     let system = SystemConfig::small_for_tests();
-    let serial = array_json(&system, Redundancy::None, 1, 42);
-    for threads in [2, 4] {
+    let serial = array_json(
+        &system,
+        4,
+        Redundancy::None,
+        ArraySched::Barrier,
+        1,
+        42,
+        (15, 400.0),
+    );
+    for (sched, threads) in CELLS {
         assert_eq!(
             serial,
-            array_json(&system, Redundancy::None, threads, 42),
-            "striped report diverged at {threads} member threads"
+            array_json(
+                &system,
+                4,
+                Redundancy::None,
+                sched,
+                threads,
+                42,
+                (15, 400.0)
+            ),
+            "striped report diverged at {threads} member threads ({})",
+            sched.name()
         );
     }
 }
@@ -76,21 +114,35 @@ fn striped_array_is_identical_for_any_worker_count() {
 #[test]
 fn mirrored_array_is_identical_for_any_worker_count() {
     let system = SystemConfig::small_for_tests();
-    let serial = array_json(&system, Redundancy::Mirror, 1, 7);
-    for threads in [2, 4] {
+    let serial = array_json(
+        &system,
+        4,
+        Redundancy::Mirror,
+        ArraySched::Barrier,
+        1,
+        7,
+        (15, 400.0),
+    );
+    for (sched, threads) in CELLS {
         assert_eq!(
             serial,
-            array_json(&system, Redundancy::Mirror, threads, 7),
-            "mirrored report diverged at {threads} member threads"
+            array_json(
+                &system,
+                4,
+                Redundancy::Mirror,
+                sched,
+                threads,
+                7,
+                (15, 400.0)
+            ),
+            "mirrored report diverged at {threads} member threads ({})",
+            sched.name()
         );
     }
 }
 
-/// With fault injection firing, every RNG draw's position in the
-/// per-member stream is observable through the failure timeline: parallel
-/// stepping must reproduce it draw for draw.
-#[test]
-fn faulty_array_is_identical_for_any_worker_count() {
+/// A `small_for_tests` system with the wear-fault injector armed.
+fn faulty_system() -> SystemConfig {
     let mut system = SystemConfig::small_for_tests();
     system.ftl = system
         .ftl
@@ -104,13 +156,67 @@ fn faulty_array_is_identical_for_any_worker_count() {
             wear_scale: 40,
         })
         .build();
+    system
+}
+
+/// With fault injection firing, every RNG draw's position in the
+/// per-member stream is observable through the failure timeline: parallel
+/// stepping must reproduce it draw for draw.
+#[test]
+fn faulty_array_is_identical_for_any_worker_count() {
+    let system = faulty_system();
     for redundancy in [Redundancy::None, Redundancy::Mirror] {
-        let serial = array_json(&system, redundancy, 1, 21);
-        for threads in [2, 4] {
+        let serial = array_json(
+            &system,
+            4,
+            redundancy,
+            ArraySched::Barrier,
+            1,
+            21,
+            (15, 400.0),
+        );
+        for (sched, threads) in CELLS {
             assert_eq!(
                 serial,
-                array_json(&system, redundancy, threads, 21),
-                "faulty {redundancy:?} report diverged at {threads} member threads"
+                array_json(&system, 4, redundancy, sched, threads, 21, (15, 400.0)),
+                "faulty {redundancy:?} report diverged at {threads} member threads ({})",
+                sched.name()
+            );
+        }
+    }
+}
+
+/// Rack scale: 64 mirrored members with fault injection and a deep
+/// queue, so quanta are long, mirrored-read serial points are frequent,
+/// and the steal driver's shards actually exchange work. Reports must be
+/// byte-identical across {1, 4, 8} threads for both drivers — the
+/// acceptance criterion for the work-stealing scheduler.
+#[test]
+fn rack_scale_array_is_identical_for_any_worker_count_and_driver() {
+    let mut system = faulty_system();
+    system.queue_depth = 8;
+    let run = |sched, threads| {
+        array_json(
+            &system,
+            64,
+            Redundancy::Mirror,
+            sched,
+            threads,
+            5,
+            (3, 150.0),
+        )
+    };
+    let serial = run(ArraySched::Barrier, 1);
+    for sched in [ArraySched::Steal, ArraySched::Barrier] {
+        for threads in [1, 4, 8] {
+            if sched == ArraySched::Barrier && threads == 1 {
+                continue;
+            }
+            assert_eq!(
+                serial,
+                run(sched, threads),
+                "64-member report diverged at {threads} member threads ({})",
+                sched.name()
             );
         }
     }
