@@ -40,7 +40,7 @@ fn main() {
             let _ = PolicyKind::Jit;
             let report = SsdSystem::new(system, Box::new(policy), benchmark.build(wl_cfg)).run();
             fgc.push((report.fgc_request_stalls + report.fgc_flush_stalls) as f64);
-            waf.push(report.waf);
+            waf.push(report.waf.expect("host writes happened"));
         }
         fgc_rows.push((benchmark.name().to_owned(), fgc));
         waf_rows.push((benchmark.name().to_owned(), waf));

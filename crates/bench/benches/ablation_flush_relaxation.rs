@@ -30,8 +30,8 @@ fn main() {
             vec![
                 (relaxed.fgc_request_stalls + relaxed.fgc_flush_stalls) as f64,
                 (strict.fgc_request_stalls + strict.fgc_flush_stalls) as f64,
-                relaxed.waf,
-                strict.waf,
+                relaxed.waf.expect("host writes happened"),
+                strict.waf.expect("host writes happened"),
             ],
         ));
     }

@@ -36,9 +36,11 @@ fn main() {
         rows.push((
             benchmark.name().to_owned(),
             vec![
-                plain.waf,
-                streamed.waf,
-                (1.0 - streamed.waf / plain.waf) * 100.0,
+                plain.waf.expect("host writes happened"),
+                streamed.waf.expect("host writes happened"),
+                (1.0 - streamed.waf.expect("host writes happened")
+                    / plain.waf.expect("host writes happened"))
+                    * 100.0,
             ],
         ));
     }

@@ -18,9 +18,12 @@ fn main() {
         rows.push((
             benchmark.name().to_owned(),
             vec![
-                with_sip.waf,
-                without.waf,
-                (without.waf / with_sip.waf - 1.0) * 100.0,
+                with_sip.waf.expect("host writes happened"),
+                without.waf.expect("host writes happened"),
+                (without.waf.expect("host writes happened")
+                    / with_sip.waf.expect("host writes happened")
+                    - 1.0)
+                    * 100.0,
                 with_sip.sip_filtered_fraction.map_or(0.0, |f| f * 100.0),
             ],
         ));

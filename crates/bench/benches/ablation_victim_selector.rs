@@ -33,7 +33,7 @@ fn main() {
             let mut exp = base.clone();
             exp.system.victim = kind;
             let report = exp.run(PolicyKind::Jit, benchmark);
-            waf.push(report.waf);
+            waf.push(report.waf.expect("host writes happened"));
             iops.push(report.iops);
         }
         waf_rows.push((benchmark.name().to_owned(), waf));

@@ -36,7 +36,10 @@ fn main() {
         ));
         waf_rows.push((
             benchmark.name().to_owned(),
-            reports.iter().map(|r| r.waf).collect(),
+            reports
+                .iter()
+                .map(|r| r.waf.expect("host writes happened"))
+                .collect(),
         ));
         stall_rows.push((
             benchmark.name().to_owned(),

@@ -51,8 +51,8 @@ fn main() {
             make_workload(),
         )
         .run();
-        jit_waf.push(jit.waf);
-        adp_waf.push(adp.waf);
+        jit_waf.push(jit.waf.expect("host writes happened"));
+        adp_waf.push(adp.waf.expect("host writes happened"));
         acc_gap.push(
             jit.prediction_accuracy_percent.unwrap_or(0.0)
                 - adp.prediction_accuracy_percent.unwrap_or(0.0),

@@ -69,7 +69,7 @@ fn main() {
                 "{:<16}{:>10.0}{:>8.3}{:>10}{:>10}{:>8}{:>10}{:>10.2}{:>10.1}{:>8.2}",
                 policy.name(),
                 r.iops,
-                r.waf,
+                r.waf.unwrap_or(f64::NAN),
                 r.fgc_request_stalls,
                 r.fgc_flush_stalls,
                 r.throttled_requests,

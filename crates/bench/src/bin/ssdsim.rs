@@ -9,8 +9,21 @@
 //!                          sweep and a summary table (or a JSON array)
 //!                          is printed                  (default ycsb)
 //!   --threads <N>          worker threads for sweeps   (default: all cores)
-//!   --policy <l-bgc|a-bgc|adp-gc|idle-gc|jit-gc|jit-nosip|no-bgc|reserved:<permille>>
+//!   --policy <l-bgc|a-bgc|adp-gc|idle-gc|jit-gc|jit-nosip|no-bgc|reserved:<permille>|all|p1,p2,…>
+//!                          one policy, a comma list, or `all`; with more
+//!                          than one the scenarios sweep like `--benchmark`
 //!                                                                (default jit-gc)
+//!   --op-sweep <p1,p2,…>   sweep over-provisioning values (permille of
+//!                          user capacity); each value rebuilds the device
+//!                          geometry                  (default: config's OP)
+//!   --screen <model>       pre-filter the sweep with the jitgc-model
+//!                          analytical screen: every cell is predicted
+//!                          (WAF, lifetime, stall proxy), and only each
+//!                          benchmark's predicted Pareto frontier plus the
+//!                          best runners-up are simulated; skipped cells
+//!                          keep their model predictions in --bench-json
+//!   --screen-keep <F>      fraction of each benchmark's cells the screen
+//!                          fills up to beyond the frontier  (default 0.25)
 //!   --seconds <N>          simulated duration          (default 300)
 //!   --iops <F>             mean arrival rate           (default 250)
 //!   --burst <F>            mean burst length           (default 1024)
@@ -41,12 +54,16 @@
 //!   --bench-json <path>    also write a machine-readable perf record (host
 //!                          pages simulated per wall-clock second, per-phase
 //!                          timing) for tracking simulator throughput; the
-//!                          record schema is `ssdsim-bench/6` (array runs
+//!                          record schema is `ssdsim-bench/7` (array runs
 //!                          add an `array` section with scheduler telemetry
 //!                          — driver mode, epochs, steal counts — plus
 //!                          per-member entries with their own
 //!                          `phase_*_secs` breakdowns and straggler
-//!                          accounting)
+//!                          accounting; screened sweeps write a wrapper
+//!                          object with a `screening` stats section and a
+//!                          `cells` array carrying every cell's model
+//!                          prediction plus, for simulated cells, the
+//!                          usual perf record under `perf`)
 //!   --array <N>            simulate an N-member striped array instead of a
 //!                          single device (`--array 1` reproduces the
 //!                          single-device reports exactly); workload working
@@ -75,7 +92,10 @@
 //! ```
 
 use jitgc_array::{ArrayConfig, ArrayReport, ArraySched, GcMode, Redundancy, SchedTelemetry};
-use jitgc_bench::{default_threads, run_grid, run_grid_capped, PolicyKind};
+use jitgc_bench::{
+    default_threads, expand_cells, run_grid, run_grid_capped, screen_cells, PolicyKind, ScreenPlan,
+    SweepCell,
+};
 use jitgc_core::system::{ManagerPlacement, PhaseProfile, SsdSystem, SystemConfig, VictimKind};
 use jitgc_nand::FaultConfig;
 use jitgc_sim::json::{JsonValue, ObjectBuilder};
@@ -87,7 +107,10 @@ use std::time::Instant;
 struct Args {
     benchmarks: Vec<BenchmarkKind>,
     threads: usize,
-    policy: PolicyKind,
+    policies: Vec<PolicyKind>,
+    op_sweep: Vec<u64>,
+    screen: bool,
+    screen_keep: f64,
     seconds: u64,
     iops: f64,
     burst: f64,
@@ -123,7 +146,10 @@ impl Default for Args {
         Args {
             benchmarks: vec![BenchmarkKind::Ycsb],
             threads: default_threads(),
-            policy: PolicyKind::Jit,
+            policies: vec![PolicyKind::Jit],
+            op_sweep: Vec::new(),
+            screen: false,
+            screen_keep: 0.25,
             seconds: 300,
             iops: 250.0,
             burst: 1_024.0,
@@ -156,13 +182,14 @@ impl Default for Args {
     }
 }
 
-/// Array WAF is undefined (JSON `null`) on a run with zero host writes.
+/// WAF is undefined (JSON `null`) on a run with zero host writes.
 fn fmt_waf(waf: Option<f64>) -> String {
     waf.map_or_else(|| "n/a".to_owned(), |w| format!("{w:.3}"))
 }
 
 fn usage() -> ! {
     eprintln!("usage: ssdsim [--benchmark B] [--policy P] [--seconds N] [--iops F]");
+    eprintln!("              [--op-sweep p1,p2,…] [--screen model] [--screen-keep F]");
     eprintln!("              [--burst F] [--seed N] [--victim V] [--no-prefill]");
     eprintln!("              [--hot-cold] [--strict-tau-flush] [--wear-leveling]");
     eprintln!("              [--in-device-manager] [--json]");
@@ -196,6 +223,27 @@ fn parse_benchmarks(v: &str) -> Vec<BenchmarkKind> {
         return BenchmarkKind::all().to_vec();
     }
     v.split(',').map(parse_benchmark).collect()
+}
+
+/// The standard policy matrix `--policy all` expands to: every baseline
+/// the paper compares plus the SIP ablation.
+fn all_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::NoBgc,
+        PolicyKind::ReservedPermille(500),
+        PolicyKind::ReservedPermille(1_500),
+        PolicyKind::Adp,
+        PolicyKind::Idle,
+        PolicyKind::Jit,
+        PolicyKind::JitNoSip,
+    ]
+}
+
+fn parse_policies(v: &str) -> Vec<PolicyKind> {
+    if v == "all" {
+        return all_policies();
+    }
+    v.split(',').map(parse_policy).collect()
 }
 
 fn parse_policy(v: &str) -> PolicyKind {
@@ -240,7 +288,27 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--benchmark" => args.benchmarks = parse_benchmarks(&value()),
             "--threads" => args.threads = value().parse().unwrap_or_else(|_| usage()),
-            "--policy" => args.policy = parse_policy(&value()),
+            "--policy" => args.policies = parse_policies(&value()),
+            "--op-sweep" => {
+                args.op_sweep = value()
+                    .split(',')
+                    .map(|p| p.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--screen" => match value().as_str() {
+                "model" => args.screen = true,
+                other => {
+                    eprintln!("unknown screen mode: {other} (only `model` exists)");
+                    usage()
+                }
+            },
+            "--screen-keep" => {
+                args.screen_keep = value().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&args.screen_keep) {
+                    eprintln!("--screen-keep must be a fraction in [0, 1]");
+                    usage()
+                }
+            }
             "--seconds" => args.seconds = value().parse().unwrap_or_else(|_| usage()),
             "--iops" => args.iops = value().parse().unwrap_or_else(|_| usage()),
             "--burst" => args.burst = value().parse().unwrap_or_else(|_| usage()),
@@ -333,7 +401,7 @@ fn perf_record(
     // workload generation and closed-loop scheduling).
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/6")
+        .field("schema", "ssdsim-bench/7")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.victim_policy.as_str())
@@ -383,7 +451,7 @@ fn perf_record(
         .build()
 }
 
-/// The `--bench-json` perf record of an array run (`ssdsim-bench/6`):
+/// The `--bench-json` perf record of an array run (`ssdsim-bench/7`):
 /// the aggregate throughput fields of [`perf_record`] plus an `array`
 /// section with scheduler telemetry and one entry per member with its
 /// page counts, per-phase wall-clock breakdown, and straggler accounting.
@@ -458,7 +526,7 @@ fn array_perf_record(
         .collect();
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/6")
+        .field("schema", "ssdsim-bench/7")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.member_reports[0].victim_policy.as_str())
@@ -519,11 +587,137 @@ fn array_perf_record(
         .build()
 }
 
+/// One simulated sweep cell's raw material: the report plus the wall-time
+/// split and phase profile the perf record is built from.
+type SingleRun = (jitgc_core::system::SimReport, f64, f64, PhaseProfile);
+
+/// Serializes one cell's model prediction.
+fn model_json(pred: &jitgc_model::Prediction) -> JsonValue {
+    ObjectBuilder::new()
+        .field("waf", pred.waf)
+        .field("feasible", pred.feasible)
+        .field("stall_proxy", pred.stall_proxy)
+        .field("lifetime_host_bytes", pred.lifetime_host_bytes)
+        .field("utilization", pred.utilization)
+        .field("reserve_pages", pred.reserve_pages)
+        .build()
+}
+
+/// The `--bench-json` wrapper of a screened sweep: a `screening` stats
+/// section plus one `cells` entry per cell (simulated or not) carrying
+/// the model prediction, the Pareto/simulated verdicts, and — for
+/// simulated cells — the usual per-run perf record under `perf`.
+fn screened_bench_record(
+    args: &Args,
+    cells: &[SweepCell],
+    plan: &ScreenPlan,
+    runs: &[Option<SingleRun>],
+    duplicates: usize,
+    model_eval_secs: f64,
+) -> JsonValue {
+    let entries: Vec<JsonValue> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let benchmark = cell.benchmark.to_string();
+            let policy = cell.policy.name();
+            let mut b = ObjectBuilder::new()
+                .field("benchmark", benchmark.as_str())
+                .field("policy", policy.as_str())
+                .field("op_permille", cell.op_permille)
+                .field("simulated", plan.keep[i])
+                .field("pareto", plan.pareto[i])
+                .field("model", model_json(&plan.predictions[i]));
+            if let Some((report, setup_secs, run_secs, profile)) = &runs[i] {
+                b = b.field(
+                    "perf",
+                    perf_record(args, report, *setup_secs, *run_secs, profile),
+                );
+            }
+            b.build()
+        })
+        .collect();
+    ObjectBuilder::new()
+        .field("schema", "ssdsim-bench/7")
+        .field(
+            "screening",
+            ObjectBuilder::new()
+                .field("mode", "model")
+                .field("keep_frac", args.screen_keep)
+                .field("total_cells", cells.len() as u64)
+                .field("duplicate_cells_dropped", duplicates as u64)
+                .field("simulated_cells", plan.simulated_cells() as u64)
+                .field("pareto_cells", plan.pareto_cells() as u64)
+                .field("model_eval_secs", model_eval_secs)
+                .build(),
+        )
+        .field("cells", JsonValue::Array(entries))
+        .build()
+}
+
+/// The extended sweep table: one row per cell (policy and OP columns
+/// included), model predictions when the sweep was screened, and
+/// `skipped` rows for cells the screen filtered out.
+fn print_sweep_table(
+    system: &SystemConfig,
+    cells: &[SweepCell],
+    plan: Option<&ScreenPlan>,
+    runs: &[Option<SingleRun>],
+) {
+    println!(
+        "{:<12}{:<16}{:>6}{:>11}{:>10}{:>8}{:>10}{:>12}",
+        "benchmark", "policy", "OP\u{2030}", "model WAF", "IOPS", "WAF", "FGC", "p99 µs"
+    );
+    for (i, cell) in cells.iter().enumerate() {
+        let op = cell.op_permille.unwrap_or_else(|| system.ftl.op_permille());
+        let model_waf = plan.map_or_else(
+            || "-".to_owned(),
+            |p| {
+                if p.predictions[i].feasible {
+                    format!("{:.3}", p.predictions[i].waf)
+                } else {
+                    "inf".to_owned()
+                }
+            },
+        );
+        // Cell labels, not `report.policy`: ablation variants (e.g.
+        // JIT-GC without SIP) self-report the base policy's name.
+        match &runs[i] {
+            Some((report, _, _, _)) => println!(
+                "{:<12}{:<16}{:>6}{:>11}{:>10.0}{:>8}{:>10}{:>12}",
+                cell.benchmark.to_string(),
+                cell.policy.name(),
+                op,
+                model_waf,
+                report.iops,
+                fmt_waf(report.waf),
+                report.fgc_request_stalls + report.fgc_flush_stalls,
+                report.latency_p99_us
+            ),
+            None => println!(
+                "{:<12}{:<16}{:>6}{:>11}{:>10}{:>8}{:>10}{:>12}",
+                cell.benchmark.to_string(),
+                cell.policy.name(),
+                op,
+                model_waf,
+                "skipped",
+                "-",
+                "-",
+                "-"
+            ),
+        }
+    }
+}
+
 /// Runs the `--array` path: one array simulation per requested benchmark,
 /// swept across worker threads like the single-device path.
 fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     if args.timeline.is_some() {
         eprintln!("--timeline is not supported with --array");
+        std::process::exit(2)
+    }
+    if args.policies.len() != 1 || !args.op_sweep.is_empty() || args.screen {
+        eprintln!("--array supports a single --policy and no --op-sweep/--screen");
         std::process::exit(2)
     }
     let redundancy = if args.mirror {
@@ -573,7 +767,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         .seed(args.seed)
         .build();
 
-    let policy = args.policy;
+    let policy = args.policies[0];
     let threads = if args.benchmarks.len() == 1 {
         1
     } else {
@@ -713,9 +907,9 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     }
     for (i, member) in report.member_reports.iter().enumerate() {
         println!(
-            "member {i:<8} {:>8} ops  WAF {:.3}  erases {}  FGC {}  p99 {} µs",
+            "member {i:<8} {:>8} ops  WAF {}  erases {}  FGC {}  p99 {} µs",
             member.ops,
-            member.waf,
+            fmt_waf(member.waf),
             member.nand_erases,
             member.fgc_request_stalls,
             member.latency_p99_us
@@ -801,35 +995,70 @@ fn main() {
         return;
     }
 
-    let workload_config = WorkloadConfig::builder()
-        .working_set_pages(system.ftl.user_pages() - system.ftl.op_pages() / 2)
-        .duration(SimDuration::from_secs(args.seconds))
-        .mean_iops(args.iops)
-        .burst_mean(args.burst)
-        .seed(args.seed)
-        .build();
-    if args.benchmarks.len() != 1 && args.timeline.is_some() {
-        eprintln!("--timeline requires a single benchmark");
+    // Expand the benchmark × policy × OP cross product into sweep cells,
+    // dropping exact duplicates before any work is dispatched.
+    let op_values: Vec<Option<u64>> = if args.op_sweep.is_empty() {
+        vec![None]
+    } else {
+        args.op_sweep.iter().map(|&p| Some(p)).collect()
+    };
+    let (cells, duplicates) = expand_cells(&args.benchmarks, &args.policies, &op_values);
+    if duplicates > 0 {
+        eprintln!("sweep: dropped {duplicates} duplicate cell(s)");
+    }
+    if cells.len() != 1 && args.timeline.is_some() {
+        eprintln!("--timeline requires a single sweep cell");
         std::process::exit(2)
     }
 
+    // Screening: predict every cell analytically and simulate only the
+    // predicted Pareto frontier plus the keep-fraction fill; skipped
+    // cells keep their predictions in the bench record.
+    let screen_start = Instant::now();
+    let plan = args
+        .screen
+        .then(|| screen_cells(&system, &cells, args.iops, args.burst, args.screen_keep));
+    let model_eval_secs = screen_start.elapsed().as_secs_f64();
+    let keep: Vec<bool> = plan
+        .as_ref()
+        .map_or_else(|| vec![true; cells.len()], |p| p.keep.clone());
+    let kept: Vec<usize> = (0..cells.len()).filter(|&i| keep[i]).collect();
+    if let Some(plan) = &plan {
+        eprintln!(
+            "screen: simulating {}/{} cells ({} on the predicted frontier)",
+            kept.len(),
+            cells.len(),
+            plan.pareto_cells()
+        );
+    }
+
     // Each scenario is an independent simulation, so the sweep runs the
-    // requested benchmarks across worker threads; results come back in
-    // input order regardless of the thread count. A single benchmark
-    // takes the plain serial path inside `run_grid`.
-    let policy = args.policy;
-    let threads = if args.benchmarks.len() == 1 {
-        1
-    } else {
-        args.threads
-    };
+    // kept cells across worker threads; results come back in input order
+    // regardless of the thread count. A single cell takes the plain
+    // serial path inside `run_grid`. Screening changes which cells run,
+    // never what a run produces: a simulated cell's report is
+    // byte-identical to the same cell of an exhaustive sweep.
+    let threads = if kept.len() == 1 { 1 } else { args.threads };
     let profile_phases = args.bench_json.is_some();
     let bulk_gc = args.bulk_gc;
-    let runs = run_grid(&args.benchmarks, threads, |&benchmark| {
+    let system_ref = &system;
+    let cells_ref = &cells;
+    let seconds = args.seconds;
+    let (iops, burst, seed) = (args.iops, args.burst, args.seed);
+    let results = run_grid(&kept, threads, |&i| {
+        let cell = cells_ref[i];
         let setup_start = Instant::now();
-        let workload = benchmark.build(workload_config);
-        let policy = policy.build(&system);
-        let mut sim = SsdSystem::new(system.clone(), policy, workload);
+        let cell_system = cell.system(system_ref);
+        let workload_config = WorkloadConfig::builder()
+            .working_set_pages(cell_system.ftl.user_pages() - cell_system.ftl.op_pages() / 2)
+            .duration(SimDuration::from_secs(seconds))
+            .mean_iops(iops)
+            .burst_mean(burst)
+            .seed(seed)
+            .build();
+        let workload = cell.benchmark.build(workload_config);
+        let policy = cell.policy.build(&cell_system);
+        let mut sim = SsdSystem::new(cell_system, policy, workload);
         sim.set_bulk_gc(bulk_gc);
         if profile_phases {
             sim.enable_phase_profiling();
@@ -840,50 +1069,77 @@ fn main() {
         let run_secs = run_start.elapsed().as_secs_f64();
         (report, setup_secs, run_secs, sim.phase_profile())
     });
+    // Scatter the kept-cell results back into cell order; screened-out
+    // cells stay `None`.
+    let mut runs: Vec<Option<SingleRun>> = (0..cells.len()).map(|_| None).collect();
+    for (&slot, result) in kept.iter().zip(results) {
+        runs[slot] = Some(result);
+    }
 
     if let Some(path) = &args.bench_json {
-        let records: Vec<JsonValue> = runs
-            .iter()
-            .map(|(report, setup_secs, run_secs, profile)| {
-                perf_record(&args, report, *setup_secs, *run_secs, profile)
-            })
-            .collect();
-        let text = if records.len() == 1 {
-            records[0].to_pretty()
-        } else {
-            JsonValue::Array(records).to_pretty()
+        let text = match &plan {
+            Some(plan) => {
+                screened_bench_record(&args, &cells, plan, &runs, duplicates, model_eval_secs)
+                    .to_pretty()
+            }
+            None => {
+                let records: Vec<JsonValue> = runs
+                    .iter()
+                    .map(|run| {
+                        let (report, setup_secs, run_secs, profile) =
+                            run.as_ref().expect("unscreened sweeps simulate every cell");
+                        perf_record(&args, report, *setup_secs, *run_secs, profile)
+                    })
+                    .collect();
+                if records.len() == 1 {
+                    records[0].to_pretty()
+                } else {
+                    JsonValue::Array(records).to_pretty()
+                }
+            }
         };
         std::fs::write(path, text).expect("write bench JSON");
         eprintln!("wrote perf record to {path}");
     }
 
-    if args.benchmarks.len() != 1 {
+    if cells.len() != 1 {
         if args.json {
+            // Simulated cells only, in cell order (screened-out cells
+            // have no report to print).
             let reports: Vec<JsonValue> = runs
                 .iter()
+                .flatten()
                 .map(|(report, _, _, _)| report.to_json())
                 .collect();
             println!("{}", JsonValue::Array(reports).to_pretty());
-        } else {
+        } else if args.policies.len() == 1 && args.op_sweep.is_empty() && plan.is_none() {
+            // The classic benchmark-only sweep table, unchanged.
             println!(
                 "{:<12}{:>10}{:>8}{:>10}{:>10}{:>12}",
                 "benchmark", "IOPS", "WAF", "FGC", "BGC blk", "p99 µs"
             );
-            for (report, _, _, _) in &runs {
+            for run in runs.iter().flatten() {
+                let (report, _, _, _) = run;
                 println!(
-                    "{:<12}{:>10.0}{:>8.3}{:>10}{:>10}{:>12}",
+                    "{:<12}{:>10.0}{:>8}{:>10}{:>10}{:>12}",
                     report.workload,
                     report.iops,
-                    report.waf,
+                    fmt_waf(report.waf),
                     report.fgc_request_stalls + report.fgc_flush_stalls,
                     report.bgc_blocks,
                     report.latency_p99_us
                 );
             }
+        } else {
+            print_sweep_table(&system, &cells, plan.as_ref(), &runs);
         }
         return;
     }
-    let (report, _, _, _) = runs.into_iter().next().expect("one benchmark ran");
+    let (report, _, _, _) = runs
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("a single cell is always simulated");
 
     if let Some(path) = &args.timeline {
         let mut csv = String::from(
@@ -915,7 +1171,7 @@ fn main() {
     println!("duration        {:.1} s", report.duration_secs);
     println!("requests        {}", report.ops);
     println!("IOPS            {:.0}", report.iops);
-    println!("WAF             {:.3}", report.waf);
+    println!("WAF             {}", fmt_waf(report.waf));
     println!("erases          {}", report.nand_erases);
     println!(
         "wear            min {} / mean {:.1} / max {} (σ {:.2})",

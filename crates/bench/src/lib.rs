@@ -14,8 +14,10 @@
 #![warn(missing_docs)]
 
 mod runner;
+mod screen;
 
 pub use runner::{capped_sweep_width, default_threads, run_grid, run_grid_capped};
+pub use screen::{expand_cells, model_policy, screen_cells, ScreenPlan, SweepCell};
 
 use jitgc_core::policy::{AdpGc, GcPolicy, IdleGc, JitGc, NoBgc, ReservedCapacity};
 use jitgc_core::system::{SimReport, SsdSystem, SystemConfig};

@@ -1,6 +1,6 @@
 //! End-to-end CLI smoke tests of the fault-injection and end-of-life
 //! flags: a short run all the way to read-only mode, the
-//! `ssdsim-bench/6` perf-record schema, and the byte-identity of
+//! `ssdsim-bench/7` perf-record schema, and the byte-identity of
 //! fault-free output. These double as the CI fault smoke step.
 
 use jitgc_sim::json::JsonValue;
@@ -20,9 +20,9 @@ fn ssdsim(args: &[&str]) -> String {
 }
 
 /// Drives a tiny-endurance device through the CLI to read-only mode and
-/// checks the report's degraded section plus the schema-6 perf record.
+/// checks the report's degraded section plus the schema-7 perf record.
 #[test]
-fn endurance_run_reaches_read_only_and_reports_schema_6() {
+fn endurance_run_reaches_read_only_and_reports_schema_7() {
     let dir = std::env::temp_dir().join("ssdsim-fault-smoke");
     std::fs::create_dir_all(&dir).expect("create temp dir");
     let bench_path = dir.join("record.json");
@@ -68,7 +68,7 @@ fn endurance_run_reaches_read_only_and_reports_schema_6() {
     let record = JsonValue::parse(&record_text).expect("bench record is valid JSON");
     assert_eq!(
         record.get("schema").and_then(JsonValue::as_str),
-        Some("ssdsim-bench/6"),
+        Some("ssdsim-bench/7"),
         "perf record must carry the bumped schema"
     );
     assert!(

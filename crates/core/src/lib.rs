@@ -40,7 +40,7 @@
 //! let mut system = SsdSystem::new(system_config, Box::new(policy), workload);
 //! let report = system.run();
 //! assert!(report.iops > 0.0);
-//! assert!(report.waf >= 1.0);
+//! assert!(report.waf.expect("host writes happened") >= 1.0);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -754,7 +754,7 @@ impl SsdSystem {
             buffered_writes: self.buffered_writes,
             direct_writes: self.direct_writes,
             trims: self.trims,
-            waf: self.ftl.waf().unwrap_or(1.0),
+            waf: self.ftl.waf(),
             nand_erases: self.ftl.device().stats().erases,
             wear: self.ftl.device().wear_report(),
             fgc_request_stalls: self.fgc_request_stalls,
@@ -908,11 +908,32 @@ mod tests {
     }
 
     #[test]
+    fn zero_host_write_run_reports_no_waf() {
+        // Prefill resets the FTL counters, so an all-read workload ends
+        // the measured window with zero host writes — the WAF ratio is
+        // undefined and must surface as None, not a fabricated 1.0.
+        let config = SystemConfig::small_for_tests();
+        let wl_cfg = WorkloadConfig::builder()
+            .working_set_pages(config.ftl.user_pages() / 2)
+            .duration(SimDuration::from_secs(5))
+            .mean_iops(500.0)
+            .seed(9)
+            .build();
+        let workload = jitgc_workload::Synthetic::builder()
+            .read_fraction(1.0)
+            .build(wl_cfg);
+        let report = SsdSystem::new(config, Box::new(NoBgc), Box::new(workload)).run();
+        assert!(report.ops > 0);
+        assert_eq!(report.host_pages_written, 0);
+        assert_eq!(report.waf, None);
+    }
+
+    #[test]
     fn runs_to_completion_and_reports() {
         let report = run(Box::new(NoBgc), BenchmarkKind::Ycsb, 30, 1);
         assert!(report.ops > 10_000, "ops {}", report.ops);
         assert!(report.iops > 0.0);
-        assert!(report.waf >= 1.0);
+        assert!(report.waf.expect("host writes happened") >= 1.0);
         assert!(report.duration_secs >= 29.0);
         assert_eq!(report.policy, "No-BGC");
         assert_eq!(report.workload, "YCSB");
@@ -1158,7 +1179,8 @@ mod tests {
         for kind in BenchmarkKind::all() {
             let report = run(Box::new(JitGc::from_system_config(&cfg)), kind, 15, 11);
             assert!(report.ops > 1_000, "{kind}: ops {}", report.ops);
-            assert!(report.waf >= 1.0, "{kind}: waf {}", report.waf);
+            let waf = report.waf.expect("host writes happened");
+            assert!(waf >= 1.0, "{kind}: waf {waf}");
         }
     }
 }

@@ -134,7 +134,9 @@ pub struct SimReport {
     pub trims: u64,
 
     /// Write Amplification Factor — the paper's Fig. 2(b)/7(b) metric.
-    pub waf: f64,
+    /// `None` (JSON `null`) when the run performed zero host writes, in
+    /// which case the ratio is undefined rather than silently 1.0.
+    pub waf: Option<f64>,
     /// Total NAND block erases (lifetime consumed).
     pub nand_erases: u64,
     /// Wear distribution across blocks.
@@ -203,11 +205,16 @@ impl SimReport {
     ///
     /// # Panics
     ///
-    /// Panics if the baseline measured zero WAF.
+    /// Panics if either run performed zero host writes (WAF undefined) or
+    /// the baseline measured zero WAF.
     #[must_use]
     pub fn normalized_waf(&self, baseline: &SimReport) -> f64 {
-        assert!(baseline.waf > 0.0, "baseline has zero WAF");
-        self.waf / baseline.waf
+        let own = self.waf.expect("WAF undefined: run had no host writes");
+        let base = baseline
+            .waf
+            .expect("baseline WAF undefined: run had no host writes");
+        assert!(base > 0.0, "baseline has zero WAF");
+        own / base
     }
 
     /// Serializes the full report to the repository's JSON format
@@ -287,7 +294,7 @@ mod tests {
             buffered_writes: 0,
             direct_writes: 0,
             trims: 0,
-            waf,
+            waf: Some(waf),
             nand_erases: 0,
             wear: WearReport::from_counts([0]),
             fgc_request_stalls: 0,

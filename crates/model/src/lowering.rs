@@ -1,0 +1,386 @@
+//! Lowers a [`WriteProfile`] into homogeneous address classes.
+//!
+//! The solver wants the working set partitioned into *combos*: sets of
+//! pages that share the same deterministic rewrite rate, Poisson rewrite
+//! rate, and trim rate. This module builds them in three steps:
+//!
+//! 1. **Partition** the address space at every stream-region boundary, so
+//!    overlapping streams (Bonnie's seek writes inside its swept space,
+//!    YCSB's memtable updates over its own log region) combine their
+//!    rates instead of being double-counted as disjoint traffic.
+//! 2. **Discretize** each stream's pattern over each interval into
+//!    `(address mass, per-page host rate)` classes — one class for
+//!    uniform, the profile's classes verbatim, and geometric rank
+//!    buckets for Zipf.
+//! 3. **Flatten** buffered rates through the page cache: a page
+//!    rewritten while still dirty coalesces, so a host per-page rate `λ`
+//!    becomes a device rate `λ/(1 + λW)` for the write-back window `W`
+//!    (a Poisson process observed with dead time `W`); deterministic
+//!    sweeps are clipped to one device write per `W`. Then the classes
+//!    of streams sharing an interval are cross-multiplied (scatter
+//!    independence) into the final combos.
+
+use jitgc_workload::{AccessPattern, WriteProfile, WriteStream};
+
+/// One homogeneous class of pages. All rates are *device-level*
+/// per-page rates in 1/s; `pages` is the class size in pages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Combo {
+    /// Number of pages in the class.
+    pub pages: f64,
+    /// Deterministic (sequential-sweep) rewrite rate per page.
+    pub det: f64,
+    /// Poisson (random overwrite) rewrite rate per page.
+    pub poisson: f64,
+    /// Trim rate per page (invalidates without a device write).
+    pub trim: f64,
+    /// Rate-weighted fraction of this class's writes that were buffered
+    /// — the share of its deaths the SIP list can predict.
+    pub buffered: f64,
+}
+
+impl Combo {
+    /// Total device write rate into this class, pages/s.
+    #[must_use]
+    pub fn write_rate(&self) -> f64 {
+        self.pages * (self.det + self.poisson)
+    }
+}
+
+/// Number of geometric rank buckets a Zipf stream is discretized into
+/// (covers up to 2^30 pages).
+const MAX_ZIPF_BUCKETS: usize = 30;
+
+/// Per-stream rate classes over one elementary interval:
+/// `(address mass within the interval, per-page device rate, buffered)`.
+/// Deterministic streams return an extra scalar det rate instead.
+struct IntervalStream {
+    det: f64,
+    det_buffered_rate: f64,
+    classes: Vec<(f64, f64, f64)>,
+}
+
+/// Zipf rank-bucket masses: splits ranks `0..n` into geometric buckets
+/// and returns `(rank_mass, probability_mass)` per bucket, where
+/// `rank_mass` is the fraction of ranks (= of addresses, after
+/// scattering) and `probability_mass` the fraction of traffic.
+fn zipf_buckets(n: u64, theta: f64) -> Vec<(f64, f64)> {
+    debug_assert!(n > 0);
+    // Exact harmonic sums; regions are device-scale (≤ a few million
+    // pages), so a linear pass is cheap and avoids integral-approximation
+    // error where the skew matters most (the first few ranks).
+    let mut edges: Vec<u64> = Vec::with_capacity(MAX_ZIPF_BUCKETS + 1);
+    let mut e = 0u64;
+    let mut width = 1u64;
+    while e < n && edges.len() < MAX_ZIPF_BUCKETS {
+        edges.push(e);
+        e = (e + width).min(n);
+        width *= 2;
+    }
+    edges.push(n);
+    let mut buckets = Vec::with_capacity(edges.len() - 1);
+    let mut total = 0.0f64;
+    for pair in edges.windows(2) {
+        let mut mass = 0.0f64;
+        for k in pair[0]..pair[1] {
+            mass += ((k + 1) as f64).powf(-theta);
+        }
+        total += mass;
+        buckets.push(((pair[1] - pair[0]) as f64 / n as f64, mass));
+    }
+    for b in &mut buckets {
+        b.1 /= total;
+    }
+    buckets
+}
+
+/// Cache-flattens a per-page host rate: the direct share passes 1:1, the
+/// buffered share coalesces while dirty (dead time `window` seconds).
+fn flatten(host_rate: f64, buffered: f64, window: f64) -> f64 {
+    let buffered_dev = if window > 0.0 {
+        host_rate / (1.0 + host_rate * window)
+    } else {
+        host_rate
+    };
+    (1.0 - buffered) * host_rate + buffered * buffered_dev
+}
+
+/// A stream's contribution over the elementary interval `[lo, hi)`
+/// (fractions of the working set). `page_rate` is the stream's total
+/// host page rate (write or trim pages/s); `window` the write-back
+/// window in seconds (0 to disable cache flattening, e.g. for trims).
+fn stream_on_interval(
+    stream: &WriteStream,
+    lo: f64,
+    hi: f64,
+    ws_pages: f64,
+    page_rate: f64,
+    window: f64,
+) -> Option<IntervalStream> {
+    let (s_lo, s_hi) = (stream.start_frac, stream.start_frac + stream.len_frac);
+    if hi <= s_lo + 1e-12 || lo >= s_hi - 1e-12 {
+        return None;
+    }
+    let region_pages = stream.len_frac * ws_pages;
+    let rate = stream.page_share * page_rate;
+    // Per-page host rate if the stream spread uniformly over its region.
+    let base = rate / region_pages;
+    match &stream.pattern {
+        AccessPattern::SequentialCycle => {
+            // One deterministic rewrite per sweep period; buffered sweeps
+            // faster than the write-back window coalesce down to one
+            // device write per window.
+            let capped = if window > 0.0 {
+                base.min(1.0 / window)
+            } else {
+                base
+            };
+            let det = (1.0 - stream.buffered_fraction) * base + stream.buffered_fraction * capped;
+            Some(IntervalStream {
+                det,
+                det_buffered_rate: stream.buffered_fraction * det,
+                classes: Vec::new(),
+            })
+        }
+        AccessPattern::Uniform => Some(IntervalStream {
+            det: 0.0,
+            det_buffered_rate: 0.0,
+            classes: vec![(
+                1.0,
+                flatten(base, stream.buffered_fraction, window),
+                stream.buffered_fraction,
+            )],
+        }),
+        AccessPattern::Zipf { theta } => {
+            let n = (region_pages.round() as u64).max(1);
+            let classes = zipf_buckets(n, *theta)
+                .into_iter()
+                .map(|(rank_mass, prob_mass)| {
+                    let per_page = rate * prob_mass / (rank_mass * region_pages);
+                    (
+                        rank_mass,
+                        flatten(per_page, stream.buffered_fraction, window),
+                        stream.buffered_fraction,
+                    )
+                })
+                .collect();
+            Some(IntervalStream {
+                det: 0.0,
+                det_buffered_rate: 0.0,
+                classes,
+            })
+        }
+        AccessPattern::Classes(classes) => {
+            let weight: f64 = classes.iter().map(|&(m, w)| m * w).sum();
+            let lowered = classes
+                .iter()
+                .map(|&(mass, w)| {
+                    let per_page = base * w / weight;
+                    (
+                        mass,
+                        flatten(per_page, stream.buffered_fraction, window),
+                        stream.buffered_fraction,
+                    )
+                })
+                .collect();
+            Some(IntervalStream {
+                det: 0.0,
+                det_buffered_rate: 0.0,
+                classes: lowered,
+            })
+        }
+    }
+}
+
+/// Lowers a profile into solver combos.
+///
+/// * `ws_pages` — logical working set size in pages.
+/// * `write_page_rate` — host written pages/s (before cache absorption).
+/// * `trim_page_rate` — host trimmed pages/s.
+/// * `write_back_window` — mean dirty dwell time in seconds.
+#[must_use]
+pub fn lower_profile(
+    profile: &WriteProfile,
+    ws_pages: f64,
+    write_page_rate: f64,
+    trim_page_rate: f64,
+    write_back_window: f64,
+) -> Vec<Combo> {
+    let mut bounds: Vec<f64> = vec![0.0, 1.0];
+    for s in profile.streams.iter().chain(&profile.trim_streams) {
+        bounds.push(s.start_frac);
+        bounds.push(s.start_frac + s.len_frac);
+    }
+    bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+    bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut combos = Vec::new();
+    for pair in bounds.windows(2) {
+        let (lo, hi) = (pair[0], pair[1]);
+        let interval_pages = (hi - lo) * ws_pages;
+        if interval_pages < 0.5 {
+            continue;
+        }
+        let mut det = 0.0;
+        let mut det_buffered_rate = 0.0;
+        let mut per_stream: Vec<Vec<(f64, f64, f64)>> = Vec::new();
+        for s in &profile.streams {
+            if let Some(c) =
+                stream_on_interval(s, lo, hi, ws_pages, write_page_rate, write_back_window)
+            {
+                det += c.det;
+                det_buffered_rate += c.det_buffered_rate;
+                if !c.classes.is_empty() {
+                    per_stream.push(c.classes);
+                }
+            }
+        }
+        // Trims bypass the cache-coalescing model: the page cache drops
+        // the range and the invalidation reaches the FTL directly.
+        let mut trim = 0.0;
+        for s in &profile.trim_streams {
+            if let Some(c) = stream_on_interval(s, lo, hi, ws_pages, trim_page_rate, 0.0) {
+                trim += c.det + c.classes.iter().map(|&(m, r, _)| m * r).sum::<f64>();
+            }
+        }
+        // Cross-product of the interval's stream mixtures: scattering is
+        // independent across streams, so a page draws one class from
+        // each.
+        let mut acc: Vec<(f64, f64, f64)> = vec![(1.0, 0.0, 0.0)]; // (mass, poisson, buffered·rate)
+        for classes in &per_stream {
+            let mut next = Vec::with_capacity(acc.len() * classes.len());
+            for &(mass, rate, brate) in &acc {
+                for &(m, r, b) in classes {
+                    next.push((mass * m, rate + r, brate + b * r));
+                }
+            }
+            acc = next;
+        }
+        for (mass, poisson, brate) in acc {
+            let pages = interval_pages * mass;
+            if pages < 1e-9 {
+                continue;
+            }
+            let total_rate = det + poisson;
+            let buffered = if total_rate > 0.0 {
+                (det_buffered_rate + brate) / total_rate
+            } else {
+                0.0
+            };
+            combos.push(Combo {
+                pages,
+                det,
+                poisson,
+                trim,
+                buffered,
+            });
+        }
+    }
+    combos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitgc_workload::BenchmarkKind;
+
+    fn total_pages(combos: &[Combo]) -> f64 {
+        combos.iter().map(|c| c.pages).sum()
+    }
+
+    fn total_rate(combos: &[Combo]) -> f64 {
+        combos.iter().map(Combo::write_rate).sum()
+    }
+
+    #[test]
+    fn combos_cover_the_working_set() {
+        for kind in BenchmarkKind::all() {
+            let profile = kind.write_profile();
+            let combos = lower_profile(&profile, 10_000.0, 500.0, 10.0, 0.0);
+            let covered = total_pages(&combos);
+            assert!(
+                (covered - 10_000.0).abs() < 1.0,
+                "{kind}: combos cover {covered} of 10000 pages"
+            );
+        }
+    }
+
+    #[test]
+    fn without_cache_window_rates_are_conserved() {
+        for kind in BenchmarkKind::all() {
+            let profile = kind.write_profile();
+            let combos = lower_profile(&profile, 10_000.0, 500.0, 0.0, 0.0);
+            let rate = total_rate(&combos);
+            assert!(
+                (rate - 500.0).abs() < 0.5,
+                "{kind}: lowered rate {rate} of 500 pages/s"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_window_absorbs_writes() {
+        for kind in [BenchmarkKind::Ycsb, BenchmarkKind::Postmark] {
+            let profile = kind.write_profile();
+            let hot = lower_profile(&profile, 10_000.0, 500.0, 0.0, 3.0);
+            let cold = lower_profile(&profile, 10_000.0, 500.0, 0.0, 0.0);
+            assert!(
+                total_rate(&hot) < total_rate(&cold) - 1.0,
+                "{kind}: write-back window absorbed nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn tpcc_direct_writes_barely_flattened() {
+        let profile = BenchmarkKind::TpcC.write_profile();
+        let hot = lower_profile(&profile, 10_000.0, 500.0, 0.0, 3.0);
+        let cold = lower_profile(&profile, 10_000.0, 500.0, 0.0, 0.0);
+        let ratio = total_rate(&hot) / total_rate(&cold);
+        assert!(
+            ratio > 0.99,
+            "TPC-C is 99.9 % direct; flattening removed {:.1} %",
+            (1.0 - ratio) * 100.0
+        );
+    }
+
+    #[test]
+    fn zipf_buckets_are_normalized_and_skewed() {
+        let buckets = zipf_buckets(10_000, 0.99);
+        let addr: f64 = buckets.iter().map(|b| b.0).sum();
+        let prob: f64 = buckets.iter().map(|b| b.1).sum();
+        assert!((addr - 1.0).abs() < 1e-9);
+        assert!((prob - 1.0).abs() < 1e-9);
+        // The first bucket is a single rank but carries far more than its
+        // address share of traffic.
+        assert!(buckets[0].1 > 50.0 * buckets[0].0 / 10_000.0);
+        // Per-page intensity decreases along the buckets.
+        let intensities: Vec<f64> = buckets.iter().map(|b| b.1 / b.0).collect();
+        for w in intensities.windows(2) {
+            assert!(w[0] > w[1], "bucket intensity must decrease");
+        }
+    }
+
+    #[test]
+    fn overlapping_streams_combine_rates() {
+        // Bonnie: seek writes land inside the swept space, so every combo
+        // must carry both the det sweep rate and the Poisson seek rate.
+        let profile = BenchmarkKind::Bonnie.write_profile();
+        let combos = lower_profile(&profile, 10_000.0, 500.0, 0.0, 0.0);
+        for c in &combos {
+            assert!(c.det > 0.0, "sweep missing from combo {c:?}");
+            assert!(c.poisson > 0.0, "seek writes missing from combo {c:?}");
+        }
+    }
+
+    #[test]
+    fn trim_rates_reach_combos() {
+        let profile = BenchmarkKind::Postmark.write_profile();
+        let combos = lower_profile(&profile, 10_000.0, 500.0, 25.0, 0.0);
+        let trim_rate: f64 = combos.iter().map(|c| c.pages * c.trim).sum();
+        assert!(
+            (trim_rate - 25.0).abs() < 0.5,
+            "trim rate {trim_rate} of 25 pages/s"
+        );
+    }
+}

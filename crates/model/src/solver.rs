@@ -1,0 +1,327 @@
+//! The steady-state FIFO-cycle balance and its fixed-point solver.
+//!
+//! **Model.** A log-structured FTL under steady load behaves like a FIFO
+//! cycle over its `t` physical data pages: the write frontier advances,
+//! and by the time it returns to a block (one *cycle* later) the block is
+//! cleaned — still-valid pages are copied to the frontier, dead ones are
+//! dropped. Per cycle every physical page is programmed exactly once, so
+//! with `D` host (device-level) page writes per cycle the write
+//! amplification is `A = t / D`.
+//!
+//! Let the cycle last `T` seconds. A page of class `c` (see
+//! [`Combo`](crate::Combo)) written at the frontier *survives* to its
+//! cleaning one cycle later with probability
+//!
+//! ```text
+//! s_c(T) = max(0, 1 − det_c·T) · exp(−(poisson_c + trim_c)·T)
+//! ```
+//!
+//! — a deterministic sweep kills it with certainty once the sweep period
+//! elapses, random overwrites and trims kill it memorylessly. Births into
+//! class `c` per cycle are host writes plus copies of its survivors:
+//! `b_c = w_c·T + b_c·s_c`, so `b_c = w_c·T / (1 − s_c)`. Since every
+//! physical page is programmed once per cycle, the balance
+//!
+//! ```text
+//! Σ_c  w_c·T / (1 − s_c(T))  =  t
+//! ```
+//!
+//! pins `T`. The left side is strictly increasing in `T` (each term is
+//! `x/(1−e^(−rx))`-shaped), starting from the steady *live* page count at
+//! `T → 0`, so the root is unique and bisection is safe. For a uniform
+//! workload this reduces to the classic mean-field FIFO result
+//! `ρ·A·(1 − e^(−1/(ρA))) = 1` (Desnoyers; greedy selection on large
+//! blocks behaves FIFO-like under uniform load).
+//!
+//! **JIT-GC's SIP term.** Just-in-time collection defers a victim block
+//! until its soon-to-die pages have actually died, so pages that would be
+//! copied but die within the prediction horizon `τ` are *not* copied —
+//! provided their writes were buffered (only cache-visible writes are
+//! predictable). We fold this in as an effective survival
+//! `s'_c = s_c · (1 − buffered_c · (1 − s_c(τ)))`: the predictable share
+//! of a class's one-horizon deaths is subtracted from its copy traffic.
+
+use crate::Combo;
+
+/// Survival probability of a class-`c` page over `dt` seconds.
+#[must_use]
+pub fn survival(c: &Combo, dt: f64) -> f64 {
+    let det = (1.0 - c.det * dt).max(0.0);
+    det * (-(c.poisson + c.trim) * dt).exp()
+}
+
+/// Effective survival with the SIP deferral term (`sip_horizon` in
+/// seconds; pass 0 to disable).
+#[must_use]
+pub fn effective_survival(c: &Combo, dt: f64, sip_horizon: f64) -> f64 {
+    let s = survival(c, dt);
+    if sip_horizon <= 0.0 {
+        return s;
+    }
+    let near_death = 1.0 - survival(c, sip_horizon);
+    s * (1.0 - c.buffered.clamp(0.0, 1.0) * near_death)
+}
+
+/// Births into class `c` per cycle of length `dt` seconds:
+/// `w_c·dt / (1 − s'_c)`, with the `dt → 0` limit (the steady live page
+/// count `pages · w/(w + trim)`) taken analytically to keep bisection
+/// stable near zero.
+#[must_use]
+pub fn births(c: &Combo, dt: f64, sip_horizon: f64) -> f64 {
+    let w = c.det + c.poisson;
+    if w <= 0.0 {
+        // Never-written pages: all copied every cycle while live; with
+        // any trim rate they eventually all die.
+        return if c.trim > 0.0 { 0.0 } else { c.pages };
+    }
+    let decay = (w + c.trim) * dt;
+    if decay < 1e-9 {
+        return c.pages * w / (w + c.trim);
+    }
+    let s = effective_survival(c, dt, sip_horizon);
+    c.pages * w * dt / (1.0 - s)
+}
+
+/// The steady *live* page count — the `T → 0` limit of total births,
+/// i.e. the logical pages that hold data once trims reach equilibrium.
+#[must_use]
+pub fn live_pages(combos: &[Combo]) -> f64 {
+    combos
+        .iter()
+        .map(|c| {
+            let w = c.det + c.poisson;
+            if w <= 0.0 && c.trim > 0.0 {
+                0.0
+            } else if w + c.trim <= 0.0 {
+                c.pages
+            } else {
+                c.pages * w / (w + c.trim)
+            }
+        })
+        .sum()
+}
+
+/// Result of solving the cycle balance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleSolution {
+    /// Cycle length in seconds.
+    pub cycle_secs: f64,
+    /// Host (device-level) page writes per cycle.
+    pub host_writes_per_cycle: f64,
+    /// Write amplification `t / D` (≥ 1).
+    pub waf: f64,
+}
+
+/// Solves `Σ births(T) = t_pages` for the cycle length `T` by bisection
+/// and returns the implied WAF. Returns `None` when the configuration is
+/// infeasible: the steady live page count (plus one spare page) does not
+/// fit in `t_pages`, so utilization pins at 1 and WAF diverges.
+#[must_use]
+pub fn solve_cycle(combos: &[Combo], t_pages: f64, sip_horizon: f64) -> Option<CycleSolution> {
+    let write_rate: f64 = combos.iter().map(Combo::write_rate).sum();
+    if write_rate <= 0.0 || t_pages <= 0.0 {
+        return None;
+    }
+    if live_pages(combos) >= t_pages - 1.0 {
+        return None;
+    }
+    let total = |t: f64| -> f64 { combos.iter().map(|c| births(c, t, sip_horizon)).sum() };
+
+    // Bracket: births(T) is increasing and unbounded, so double until we
+    // pass t_pages. Start near one naive device-fill time.
+    let mut hi = (t_pages / write_rate).max(1e-6);
+    let mut doublings = 0;
+    while total(hi) < t_pages {
+        hi *= 2.0;
+        doublings += 1;
+        if doublings > 200 {
+            return None;
+        }
+    }
+    let mut lo = 0.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if total(mid) < t_pages {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) < 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+    let cycle_secs = 0.5 * (lo + hi);
+    let host_writes_per_cycle = write_rate * cycle_secs;
+    Some(CycleSolution {
+        cycle_secs,
+        host_writes_per_cycle,
+        waf: t_pages / host_writes_per_cycle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(pages: f64, rate: f64) -> Combo {
+        Combo {
+            pages,
+            det: 0.0,
+            poisson: rate / pages,
+            trim: 0.0,
+            buffered: 0.0,
+        }
+    }
+
+    /// The classic mean-field FIFO closed form for a uniform workload:
+    /// `A` satisfies `x/(1 − e^(−x)) = 1/ρ` with `x = 1/(ρA)`.
+    fn classic_fifo_waf(rho: f64) -> f64 {
+        let (mut lo, mut hi) = (1e-9f64, 50.0f64);
+        for _ in 0..200 {
+            let x = 0.5 * (lo + hi);
+            if x / (1.0 - (-x).exp()) < 1.0 / rho {
+                lo = x;
+            } else {
+                hi = x;
+            }
+        }
+        1.0 / (rho * 0.5 * (lo + hi))
+    }
+
+    #[test]
+    fn uniform_matches_the_closed_form() {
+        for rho in [0.6, 0.8, 0.9, 0.95] {
+            let t = 10_000.0;
+            let ws = rho * t;
+            let sol = solve_cycle(&[uniform(ws, 100.0)], t, 0.0).expect("feasible");
+            let expected = classic_fifo_waf(rho);
+            let rel = (sol.waf - expected).abs() / expected;
+            assert!(
+                rel < 1e-6,
+                "rho {rho}: solver {} vs closed form {expected}",
+                sol.waf
+            );
+        }
+    }
+
+    #[test]
+    fn waf_is_at_least_one() {
+        let sol = solve_cycle(&[uniform(5_000.0, 250.0)], 10_000.0, 0.0).unwrap();
+        assert!(sol.waf >= 1.0);
+    }
+
+    #[test]
+    fn pure_sequential_traffic_has_waf_one() {
+        // A sweep whose period is long relative to nothing else: every
+        // page dies deterministically before its block is cleaned once
+        // the cycle exceeds the sweep period.
+        let c = Combo {
+            pages: 8_000.0,
+            det: 100.0 / 8_000.0,
+            poisson: 0.0,
+            trim: 0.0,
+            buffered: 0.0,
+        };
+        let sol = solve_cycle(&[c], 10_000.0, 0.0).expect("feasible");
+        assert!(
+            sol.waf < 1.05,
+            "sequential sweep should be nearly copy-free, got {}",
+            sol.waf
+        );
+    }
+
+    #[test]
+    fn more_op_means_less_waf() {
+        let mut last = f64::INFINITY;
+        for t in [9_000.0, 10_000.0, 12_000.0, 16_000.0] {
+            let sol = solve_cycle(&[uniform(8_500.0, 100.0)], t, 0.0).expect("feasible");
+            assert!(
+                sol.waf < last,
+                "WAF must fall as physical space grows: {} !< {last}",
+                sol.waf
+            );
+            last = sol.waf;
+        }
+    }
+
+    #[test]
+    fn skew_under_oblivious_cleaning_raises_waf() {
+        // 90 % of writes on 10 % of pages, same totals: hot churn forces
+        // frequent cycles that recycle the mostly-still-valid cold
+        // majority, so FIFO-cycle WAF *rises* — the classic argument for
+        // hot/cold separation (Desnoyers).
+        let t = 10_000.0;
+        let uniform_sol = solve_cycle(&[uniform(9_000.0, 100.0)], t, 0.0).unwrap();
+        let skewed = [
+            Combo {
+                pages: 900.0,
+                det: 0.0,
+                poisson: 90.0 / 900.0,
+                trim: 0.0,
+                buffered: 0.0,
+            },
+            Combo {
+                pages: 8_100.0,
+                det: 0.0,
+                poisson: 10.0 / 8_100.0,
+                trim: 0.0,
+                buffered: 0.0,
+            },
+        ];
+        let skewed_sol = solve_cycle(&skewed, t, 0.0).unwrap();
+        assert!(
+            skewed_sol.waf > uniform_sol.waf,
+            "skew {} should cost more than uniform {} under oblivious cleaning",
+            skewed_sol.waf,
+            uniform_sol.waf
+        );
+    }
+
+    #[test]
+    fn sip_horizon_reduces_waf_for_buffered_traffic() {
+        let mut c = uniform(9_000.0, 100.0);
+        c.buffered = 0.9;
+        let without = solve_cycle(&[c], 10_000.0, 0.0).unwrap();
+        let with = solve_cycle(&[c], 10_000.0, 30.0).unwrap();
+        assert!(
+            with.waf < without.waf,
+            "SIP deferral must not increase WAF: {} vs {}",
+            with.waf,
+            without.waf
+        );
+    }
+
+    #[test]
+    fn trim_lowers_waf() {
+        let plain = solve_cycle(&[uniform(9_500.0, 100.0)], 10_000.0, 0.0).unwrap();
+        let mut trimmed_combo = uniform(9_500.0, 100.0);
+        trimmed_combo.trim = 0.2 * 100.0 / 9_500.0;
+        let trimmed = solve_cycle(&[trimmed_combo], 10_000.0, 0.0).unwrap();
+        assert!(trimmed.waf < plain.waf);
+    }
+
+    #[test]
+    fn full_device_is_infeasible() {
+        assert!(solve_cycle(&[uniform(10_000.0, 100.0)], 10_000.0, 0.0).is_none());
+        assert!(solve_cycle(&[uniform(9_999.5, 100.0)], 10_000.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn static_data_is_carried_as_copies() {
+        // Half the device holds never-rewritten data: the dynamic half
+        // behaves like a device of half the spare area… worse WAF than
+        // without the static load.
+        let dynamic = uniform(4_000.0, 100.0);
+        let static_data = Combo {
+            pages: 4_500.0,
+            det: 0.0,
+            poisson: 0.0,
+            trim: 0.0,
+            buffered: 0.0,
+        };
+        let with_static = solve_cycle(&[dynamic, static_data], 10_000.0, 0.0).unwrap();
+        let without = solve_cycle(&[dynamic], 5_500.0, 0.0).unwrap();
+        assert!(with_static.waf > without.waf * 0.99);
+        assert!(with_static.waf.is_finite());
+    }
+}

@@ -1,0 +1,428 @@
+//! Declarative write-traffic descriptors for the analytical model.
+//!
+//! Each benchmark generator ([`BenchmarkKind`]) has a *write profile*: a
+//! small set of [`WriteStream`]s that together describe where its written
+//! pages land and how often each page is revisited. The `jitgc-model`
+//! crate lowers these descriptors into per-address-class overwrite rates
+//! and solves the mean-field GC balance for WAF — so the profile is the
+//! contract between the generators and the analytical fast path.
+//!
+//! The constants here are *derived from the generator source*, not
+//! fitted: every share below is the exact expectation of the generator's
+//! dice (request-kind probabilities × page-count distributions). The unit
+//! tests drain each generator and check the drained stream against its
+//! profile, so a generator change that invalidates a profile fails here
+//! first.
+
+use crate::BenchmarkKind;
+
+/// How a write stream picks addresses inside its region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPattern {
+    /// Uniform random pages over the region.
+    Uniform,
+    /// Zipf-skewed ranks scattered pseudo-randomly over the region, so
+    /// the *rate distribution* applies spatially uniformly (hot pages
+    /// are not physically clustered).
+    Zipf {
+        /// Skew exponent of the rank distribution.
+        theta: f64,
+    },
+    /// A cyclic sequential sweep over the region (log appends, scans).
+    /// Every page in the region is rewritten deterministically once per
+    /// sweep period.
+    SequentialCycle,
+    /// The region tiles into fixed-size units whose pages see different
+    /// rates (e.g. slot-head writes hit page 0 of every slot more often
+    /// than page 7). Each `(address_mass, rate_weight)` entry is a class:
+    /// `address_mass` of the region's pages receive traffic proportional
+    /// to `rate_weight`. Masses must sum to 1; weights are relative.
+    Classes(&'static [(f64, f64)]),
+}
+
+/// One component of a benchmark's write (or trim) traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteStream {
+    /// Diagnostic label ("commit-log", "memtable", …).
+    pub label: &'static str,
+    /// Region start, as a fraction of the working set.
+    pub start_frac: f64,
+    /// Region length, as a fraction of the working set. Regions of
+    /// different streams may overlap (a consumer must combine per-page
+    /// rates on the overlap — e.g. Bonnie's seek writes land inside the
+    /// space its sequential sweeps also rewrite).
+    pub len_frac: f64,
+    /// This stream's fraction of the benchmark's written pages (of its
+    /// trimmed pages, for a trim stream). Shares over a profile's
+    /// `streams` sum to 1.
+    pub page_share: f64,
+    /// Address pattern within the region.
+    pub pattern: AccessPattern,
+    /// Fraction of this stream's pages issued as buffered writes (may
+    /// coalesce in the page cache before reaching the device).
+    pub buffered_fraction: f64,
+}
+
+/// The complete write-side personality of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteProfile {
+    /// Write streams; `page_share`s sum to 1.
+    pub streams: Vec<WriteStream>,
+    /// Trim streams (empty for benchmarks that never discard);
+    /// `page_share`s sum to 1 when non-empty.
+    pub trim_streams: Vec<WriteStream>,
+    /// Expected written pages per generated request, over *all* request
+    /// kinds — multiply by the arrival rate for the host write-page rate.
+    pub write_pages_per_request: f64,
+    /// Expected trimmed pages per generated request.
+    pub trim_pages_per_request: f64,
+}
+
+impl WriteProfile {
+    /// The profile-implied buffered fraction of written pages
+    /// (share-weighted). Matches the generator's
+    /// [`WriteMix`](crate::WriteMix) by construction.
+    #[must_use]
+    pub fn buffered_fraction(&self) -> f64 {
+        self.streams
+            .iter()
+            .map(|s| s.page_share * s.buffered_fraction)
+            .sum()
+    }
+}
+
+/// Postmark writes land at the head of an 8-page slot with a uniform
+/// 1..=8 page count, so page `j` of a slot is written iff the count
+/// exceeds `j`: relative rate `(8 - j) / 8`.
+const SLOT_HEAD_CLASSES: [(f64, f64); 8] = [
+    (0.125, 8.0),
+    (0.125, 7.0),
+    (0.125, 6.0),
+    (0.125, 5.0),
+    (0.125, 4.0),
+    (0.125, 3.0),
+    (0.125, 2.0),
+    (0.125, 1.0),
+];
+
+/// Filebench rewrites a whole 16-page extent 75 % of the time and appends
+/// 1..=8 pages at the head otherwise: page `j` sees
+/// `0.75 + 0.25 × P(len > j)`.
+const EXTENT_CLASSES: [(f64, f64); 16] = [
+    (0.0625, 1.0),
+    (0.0625, 0.968_75),
+    (0.0625, 0.937_5),
+    (0.0625, 0.906_25),
+    (0.0625, 0.875),
+    (0.0625, 0.843_75),
+    (0.0625, 0.812_5),
+    (0.0625, 0.781_25),
+    (0.0625, 0.75),
+    (0.0625, 0.75),
+    (0.0625, 0.75),
+    (0.0625, 0.75),
+    (0.0625, 0.75),
+    (0.0625, 0.75),
+    (0.0625, 0.75),
+    (0.0625, 0.75),
+];
+
+impl BenchmarkKind {
+    /// The benchmark's write profile. See the module docs for how each
+    /// constant follows from the generator's request dice.
+    #[must_use]
+    pub fn write_profile(self) -> WriteProfile {
+        match self {
+            // 50 % writes of 1..=4 pages (mean 2.5); 11.8 % of written
+            // pages are commit-log appends cycling through the first 1/32
+            // of the working set, the rest Zipf(0.99)-skewed memtable
+            // updates scattered everywhere.
+            BenchmarkKind::Ycsb => WriteProfile {
+                streams: vec![
+                    WriteStream {
+                        label: "commit-log",
+                        start_frac: 0.0,
+                        len_frac: 1.0 / 32.0,
+                        page_share: 0.118,
+                        pattern: AccessPattern::SequentialCycle,
+                        buffered_fraction: 0.0,
+                    },
+                    WriteStream {
+                        label: "memtable",
+                        start_frac: 0.0,
+                        len_frac: 1.0,
+                        page_share: 0.882,
+                        pattern: AccessPattern::Zipf { theta: 0.99 },
+                        buffered_fraction: 1.0,
+                    },
+                ],
+                trim_streams: vec![],
+                write_pages_per_request: 0.5 * 2.5,
+                trim_pages_per_request: 0.0,
+            },
+            // 70 % writes of 1..=8 pages (mean 4.5) at slot heads; with
+            // probability 0.75 the slot is drawn from the hot quarter,
+            // else uniformly from the whole slot space (so the uniform
+            // stream covers the hot quarter too). 5 % of requests trim a
+            // whole 8-page slot with the same hot/cold split.
+            BenchmarkKind::Postmark => {
+                let hot = |label, share, pattern| WriteStream {
+                    label,
+                    start_frac: 0.0,
+                    len_frac: 0.25,
+                    page_share: share,
+                    pattern,
+                    buffered_fraction: 0.817,
+                };
+                let all = |label, share, pattern| WriteStream {
+                    label,
+                    start_frac: 0.0,
+                    len_frac: 1.0,
+                    page_share: share,
+                    pattern,
+                    buffered_fraction: 0.817,
+                };
+                WriteProfile {
+                    streams: vec![
+                        hot(
+                            "hot-slots",
+                            0.75,
+                            AccessPattern::Classes(&SLOT_HEAD_CLASSES),
+                        ),
+                        all(
+                            "all-slots",
+                            0.25,
+                            AccessPattern::Classes(&SLOT_HEAD_CLASSES),
+                        ),
+                    ],
+                    trim_streams: vec![
+                        hot("hot-trims", 0.75, AccessPattern::Uniform),
+                        all("all-trims", 0.25, AccessPattern::Uniform),
+                    ],
+                    write_pages_per_request: 0.70 * 4.5,
+                    trim_pages_per_request: 0.05 * 8.0,
+                }
+            }
+            // 50 % writes: whole 16-page extents (75 %) or 1..=8-page
+            // head appends (25 %), mean 13.125 pages per write request.
+            // The hot 30 % of extents takes 60 % of operations.
+            BenchmarkKind::Filebench => WriteProfile {
+                streams: vec![
+                    WriteStream {
+                        label: "hot-extents",
+                        start_frac: 0.0,
+                        len_frac: 0.3,
+                        page_share: 0.6,
+                        pattern: AccessPattern::Classes(&EXTENT_CLASSES),
+                        buffered_fraction: 0.858,
+                    },
+                    WriteStream {
+                        label: "all-extents",
+                        start_frac: 0.0,
+                        len_frac: 1.0,
+                        page_share: 0.4,
+                        pattern: AccessPattern::Classes(&EXTENT_CLASSES),
+                        buffered_fraction: 0.858,
+                    },
+                ],
+                trim_streams: vec![],
+                write_pages_per_request: 0.5 * 13.125,
+                trim_pages_per_request: 0.0,
+            },
+            // Per phase cycle over S = ws/8 chunks: two full-working-set
+            // write sweeps (2·ws pages) plus S seek requests of which
+            // 10 % rewrite one page (ws/80 pages), spread over 4·S
+            // requests. Seek writes land *inside* the swept space.
+            BenchmarkKind::Bonnie => WriteProfile {
+                streams: vec![
+                    WriteStream {
+                        label: "seq-sweeps",
+                        start_frac: 0.0,
+                        len_frac: 1.0,
+                        page_share: 2.0 / 2.012_5,
+                        pattern: AccessPattern::SequentialCycle,
+                        buffered_fraction: 0.724,
+                    },
+                    WriteStream {
+                        label: "seek-writes",
+                        start_frac: 0.0,
+                        len_frac: 1.0,
+                        page_share: 0.012_5 / 2.012_5,
+                        pattern: AccessPattern::Uniform,
+                        buffered_fraction: 0.724,
+                    },
+                ],
+                trim_streams: vec![],
+                write_pages_per_request: 2.012_5 / 0.5,
+                trim_pages_per_request: 0.0,
+            },
+            // 60 % writes, all 4 pages; each of four threads owns a
+            // quarter territory and goes sequential half the time. The
+            // four interleaved quarter-sweeps have the same per-page
+            // revisit period as one global sweep at the combined rate.
+            BenchmarkKind::Tiobench => WriteProfile {
+                streams: vec![
+                    WriteStream {
+                        label: "seq-scans",
+                        start_frac: 0.0,
+                        len_frac: 1.0,
+                        page_share: 0.5,
+                        pattern: AccessPattern::SequentialCycle,
+                        buffered_fraction: 0.463,
+                    },
+                    WriteStream {
+                        label: "random-io",
+                        start_frac: 0.0,
+                        len_frac: 1.0,
+                        page_share: 0.5,
+                        pattern: AccessPattern::Uniform,
+                        buffered_fraction: 0.463,
+                    },
+                ],
+                trim_streams: vec![],
+                write_pages_per_request: 0.6 * 4.0,
+                trim_pages_per_request: 0.0,
+            },
+            // 60 % writes: 30 % single-page redo-log appends cycling the
+            // first 1/64, 70 % Zipf(0.9) table updates of 1..=2 pages
+            // (mean 1.5) — log page share 0.3/1.35, table 1.05/1.35.
+            BenchmarkKind::TpcC => WriteProfile {
+                streams: vec![
+                    WriteStream {
+                        label: "redo-log",
+                        start_frac: 0.0,
+                        len_frac: 1.0 / 64.0,
+                        page_share: 0.3 / 1.35,
+                        pattern: AccessPattern::SequentialCycle,
+                        buffered_fraction: 0.001,
+                    },
+                    WriteStream {
+                        label: "table-updates",
+                        start_frac: 0.0,
+                        len_frac: 1.0,
+                        page_share: 1.05 / 1.35,
+                        pattern: AccessPattern::Zipf { theta: 0.9 },
+                        buffered_fraction: 0.001,
+                    },
+                ],
+                trim_streams: vec![],
+                write_pages_per_request: 0.6 * 1.35,
+                trim_pages_per_request: 0.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IoKind, WorkloadConfig};
+    use jitgc_sim::SimDuration;
+
+    fn drained(kind: BenchmarkKind) -> (f64, f64, f64, f64, u64) {
+        // (write pages/request, trim pages/request, buffered fraction,
+        //  fraction of write pages in the first quarter, requests)
+        let cfg = WorkloadConfig::builder()
+            .working_set_pages(8_192)
+            .duration(SimDuration::from_secs(60))
+            .mean_iops(2_000.0)
+            .burst_mean(16.0)
+            .seed(11)
+            .build();
+        let ws = cfg.working_set_pages();
+        let mut w = kind.build(cfg);
+        let (mut reqs, mut wr, mut tr, mut buf, mut low) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        while let Some(req) = w.next_request() {
+            reqs += 1;
+            let pages = u64::from(req.pages);
+            match req.kind {
+                IoKind::BufferedWrite | IoKind::DirectWrite => {
+                    wr += pages;
+                    if req.kind == IoKind::BufferedWrite {
+                        buf += pages;
+                    }
+                    if req.lpn.0 < ws / 4 {
+                        low += pages;
+                    }
+                }
+                IoKind::Trim => tr += pages,
+                IoKind::Read => {}
+            }
+        }
+        (
+            wr as f64 / reqs as f64,
+            tr as f64 / reqs as f64,
+            buf as f64 / wr as f64,
+            low as f64 / wr as f64,
+            reqs,
+        )
+    }
+
+    #[test]
+    fn shares_are_normalized() {
+        for kind in BenchmarkKind::all() {
+            let p = kind.write_profile();
+            let sum: f64 = p.streams.iter().map(|s| s.page_share).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{kind}: write shares sum {sum}");
+            if !p.trim_streams.is_empty() {
+                let sum: f64 = p.trim_streams.iter().map(|s| s.page_share).sum();
+                assert!((sum - 1.0).abs() < 1e-9, "{kind}: trim shares sum {sum}");
+            }
+            for s in p.streams.iter().chain(&p.trim_streams) {
+                assert!(s.len_frac > 0.0 && s.len_frac <= 1.0);
+                assert!(s.start_frac >= 0.0 && s.start_frac + s.len_frac <= 1.0 + 1e-9);
+                if let AccessPattern::Classes(classes) = s.pattern {
+                    let mass: f64 = classes.iter().map(|&(m, _)| m).sum();
+                    assert!((mass - 1.0).abs() < 1e-9, "{kind}: class mass {mass}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_matches_drained_generator() {
+        for kind in BenchmarkKind::all() {
+            let p = kind.write_profile();
+            let (wppr, tppr, buffered, _, reqs) = drained(kind);
+            assert!(reqs > 10_000, "{kind}: drained too few requests");
+            let rel = (wppr - p.write_pages_per_request).abs() / p.write_pages_per_request;
+            assert!(
+                rel < 0.05,
+                "{kind}: measured {wppr:.3} write pages/request, profile {:.3}",
+                p.write_pages_per_request
+            );
+            assert!(
+                (tppr - p.trim_pages_per_request).abs() < 0.05,
+                "{kind}: measured {tppr:.3} trim pages/request, profile {:.3}",
+                p.trim_pages_per_request
+            );
+            assert!(
+                (buffered - p.buffered_fraction()).abs() < 0.05,
+                "{kind}: measured buffered {buffered:.3}, profile {:.3}",
+                p.buffered_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_fraction_matches_write_mix() {
+        for kind in BenchmarkKind::all() {
+            let diff = (kind.write_profile().buffered_fraction()
+                - kind.write_mix().buffered_fraction)
+                .abs();
+            assert!(diff < 1e-9, "{kind}: profile disagrees with WriteMix");
+        }
+    }
+
+    #[test]
+    fn postmark_hot_quarter_gets_its_share() {
+        // Hot share 0.75 targets the first quarter of slots; the uniform
+        // 0.25 puts a quarter of itself there too.
+        let (_, _, _, low, _) = drained(BenchmarkKind::Postmark);
+        let expected = 0.75 + 0.25 * 0.25;
+        assert!(
+            (low - expected).abs() < 0.03,
+            "postmark first-quarter write share {low:.3}, profile implies {expected:.3}"
+        );
+    }
+}

@@ -113,7 +113,10 @@ fn main() {
     println!("workload  : {}", report.workload);
     println!("requests  : {}", report.ops);
     println!("IOPS      : {:.0}", report.iops);
-    println!("WAF       : {:.3}", report.waf);
+    println!(
+        "WAF       : {:.3}",
+        report.waf.expect("host writes happened")
+    );
     println!(
         "FGC stalls: {}",
         report.fgc_request_stalls + report.fgc_flush_stalls

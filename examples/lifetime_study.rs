@@ -51,7 +51,7 @@ fn main() {
         println!(
             "{:<10}{:>8.3}{:>12}{:>12}{:>12.2}{:>14.0}{:>20.0}",
             report.policy,
-            report.waf,
+            report.waf.expect("host writes happened"),
             report.nand_erases,
             report.wear.max,
             report.wear.std_dev,

@@ -59,7 +59,7 @@ fn main() {
             "{:<10}{:>10.0}{:>10.3}{:>12}{:>12}{:>12}",
             report.policy,
             report.iops,
-            report.waf,
+            report.waf.expect("host writes happened"),
             report.fgc_request_stalls + report.fgc_flush_stalls,
             report.bgc_blocks,
             report.latency_p99_us,

@@ -37,7 +37,10 @@ fn main() {
     println!("simulated time: {:.1} s", report.duration_secs);
     println!("requests      : {}", report.ops);
     println!("IOPS          : {:.0}", report.iops);
-    println!("WAF           : {:.3}", report.waf);
+    println!(
+        "WAF           : {:.3}",
+        report.waf.expect("host writes happened")
+    );
     println!("NAND erases   : {}", report.nand_erases);
     println!(
         "FGC stalls    : {} (requests) + {} (flush path)",

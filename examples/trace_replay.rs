@@ -67,14 +67,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "live run  : {} ops, WAF {:.4}, {} erases",
-        report_live.ops, report_live.waf, report_live.nand_erases
+        report_live.ops,
+        report_live.waf.expect("host writes happened"),
+        report_live.nand_erases
     );
     println!(
         "replay run: {} ops, WAF {:.4}, {} erases",
-        report_replay.ops, report_replay.waf, report_replay.nand_erases
+        report_replay.ops,
+        report_replay.waf.expect("host writes happened"),
+        report_replay.nand_erases
     );
     assert_eq!(report_live.ops, report_replay.ops);
-    assert_eq!(report_live.waf, report_replay.waf);
+    assert_eq!(
+        report_live.waf.expect("host writes happened"),
+        report_replay.waf.expect("host writes happened")
+    );
     assert_eq!(report_live.nand_erases, report_replay.nand_erases);
     println!("replay is bit-identical ✓");
     std::fs::remove_file(&path)?;

@@ -12,12 +12,15 @@
 //! * [`core`] — the paper's contribution: predictors, the JIT-GC manager,
 //!   BGC policies, and the full-system simulation engine.
 //! * [`array`] — striped multi-SSD array layer with GC-aware routing.
+//! * [`model`] — analytical mean-field WAF/lifetime model used to screen
+//!   sweep configurations before simulating them.
 
 #![forbid(unsafe_code)]
 
 pub use jitgc_array as array;
 pub use jitgc_core as core;
 pub use jitgc_ftl as ftl;
+pub use jitgc_model as model;
 pub use jitgc_nand as nand;
 pub use jitgc_pagecache as pagecache;
 pub use jitgc_sim as sim;

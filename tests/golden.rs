@@ -38,7 +38,12 @@ fn golden_ycsb_jit() {
         Box::new(JitGc::from_system_config(&config)),
         BenchmarkKind::Ycsb,
     );
-    assert_band("YCSB/JIT WAF", r.waf, 4.0, 7.0);
+    assert_band(
+        "YCSB/JIT WAF",
+        r.waf.expect("host writes happened"),
+        4.0,
+        7.0,
+    );
     assert_band("YCSB/JIT IOPS", r.iops, 200.0, 280.0);
     assert_band(
         "YCSB/JIT accuracy",
@@ -57,7 +62,12 @@ fn golden_ycsb_aggressive_waf_band() {
         Box::new(ReservedCapacity::aggressive(config.op_capacity())),
         BenchmarkKind::Ycsb,
     );
-    assert_band("YCSB/A-BGC WAF", r.waf, 10.0, 22.0);
+    assert_band(
+        "YCSB/A-BGC WAF",
+        r.waf.expect("host writes happened"),
+        10.0,
+        22.0,
+    );
 }
 
 #[test]
@@ -73,7 +83,12 @@ fn golden_tpcc_lazy_stalls_band() {
         100.0,
         800.0,
     );
-    assert_band("TPC-C/L-BGC WAF", lazy.waf, 3.5, 7.0);
+    assert_band(
+        "TPC-C/L-BGC WAF",
+        lazy.waf.expect("host writes happened"),
+        3.5,
+        7.0,
+    );
 }
 
 #[test]
@@ -84,5 +99,10 @@ fn golden_bonnie_waf_near_one() {
         Box::new(ReservedCapacity::lazy(config.op_capacity())),
         BenchmarkKind::Bonnie,
     );
-    assert_band("Bonnie/L-BGC WAF", r.waf, 1.0, 1.5);
+    assert_band(
+        "Bonnie/L-BGC WAF",
+        r.waf.expect("host writes happened"),
+        1.0,
+        1.5,
+    );
 }

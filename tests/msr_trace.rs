@@ -44,7 +44,7 @@ fn msr_trace_runs_through_the_full_stack() {
     assert_eq!(report.ops, 20_000);
     assert_eq!(report.buffered_writes, 0, "block traces are all direct");
     assert!(report.direct_writes > 10_000);
-    assert!(report.waf >= 1.0);
+    assert!(report.waf.expect("host writes happened") >= 1.0);
     assert!(report.iops > 0.0);
 }
 
@@ -65,7 +65,10 @@ fn msr_replay_is_deterministic() {
         SsdSystem::new(config, Box::new(policy), Box::new(workload)).run()
     };
     let (a, b) = (run(), run());
-    assert_eq!(a.waf, b.waf);
+    assert_eq!(
+        a.waf.expect("host writes happened"),
+        b.waf.expect("host writes happened")
+    );
     assert_eq!(a.nand_erases, b.nand_erases);
     assert_eq!(a.latency_p99_us, b.latency_p99_us);
 }

@@ -39,9 +39,9 @@ fn check_invariants(report: &SimReport, system: &SystemConfig, label: &str) {
     );
     if report.host_pages_written > 0 {
         assert!(
-            report.waf >= 1.0,
+            report.waf.expect("host writes happened") >= 1.0,
             "{label}: WAF {} below 1.0 — the device cannot program fewer pages than the host wrote",
-            report.waf
+            report.waf.expect("host writes happened")
         );
     }
     assert!(

@@ -58,10 +58,11 @@ fn fig2_shape_reserve_trades_stalls_for_waf() {
         aggressive.fgc_request_stalls
     );
     assert!(
-        aggressive.waf > lazy.waf * 1.3,
+        aggressive.waf.expect("host writes happened")
+            > lazy.waf.expect("host writes happened") * 1.3,
         "aggressive WAF {} vs lazy {}",
-        aggressive.waf,
-        lazy.waf
+        aggressive.waf.expect("host writes happened"),
+        lazy.waf.expect("host writes happened")
     );
     assert!(
         aggressive.iops >= lazy.iops,
@@ -102,16 +103,17 @@ fn fig7_shape_jit_waf_near_lazy() {
     let lazy = run(&config, reserved(&config, 500), BenchmarkKind::Ycsb);
     let aggressive = run(&config, reserved(&config, 1_500), BenchmarkKind::Ycsb);
     assert!(
-        jit.waf < lazy.waf * 1.35,
+        jit.waf.expect("host writes happened") < lazy.waf.expect("host writes happened") * 1.35,
         "JIT WAF {} should sit near L-BGC's {}",
-        jit.waf,
-        lazy.waf
+        jit.waf.expect("host writes happened"),
+        lazy.waf.expect("host writes happened")
     );
     assert!(
-        jit.waf < aggressive.waf * 0.6,
+        jit.waf.expect("host writes happened")
+            < aggressive.waf.expect("host writes happened") * 0.6,
         "JIT WAF {} should sit far below A-BGC's {}",
-        jit.waf,
-        aggressive.waf
+        jit.waf.expect("host writes happened"),
+        aggressive.waf.expect("host writes happened")
     );
 }
 
@@ -127,10 +129,10 @@ fn jit_beats_adp_on_waf_for_buffered_workloads() {
     );
     let adp_report = run(&config, adp(&config), BenchmarkKind::Ycsb);
     assert!(
-        jit.waf < adp_report.waf,
+        jit.waf.expect("host writes happened") < adp_report.waf.expect("host writes happened"),
         "JIT WAF {} vs ADP WAF {}",
-        jit.waf,
-        adp_report.waf
+        jit.waf.expect("host writes happened"),
+        adp_report.waf.expect("host writes happened")
     );
 }
 
@@ -198,7 +200,10 @@ fn experiments_are_reproducible() {
         BenchmarkKind::Tiobench,
     );
     assert_eq!(a.ops, b.ops);
-    assert_eq!(a.waf, b.waf);
+    assert_eq!(
+        a.waf.expect("host writes happened"),
+        b.waf.expect("host writes happened")
+    );
     assert_eq!(a.nand_erases, b.nand_erases);
     assert_eq!(a.latency_p999_us, b.latency_p999_us);
     assert_eq!(a.prediction_accuracy_percent, b.prediction_accuracy_percent);
