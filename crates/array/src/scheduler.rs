@@ -408,7 +408,7 @@ fn route_mirrored_sub(
 /// deterministic [`ArrayReport`] — reports stay byte-identical across
 /// `--array-sched` modes and thread counts, while this struct tells you
 /// what the machinery did to get there. Surfaced in `--bench-json`
-/// (`ssdsim-bench/7`), never in `--json`.
+/// (`ssdsim-bench/8`), never in `--json`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchedTelemetry {
     /// Driver that produced the last run.

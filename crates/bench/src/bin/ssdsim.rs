@@ -54,7 +54,7 @@
 //!   --bench-json <path>    also write a machine-readable perf record (host
 //!                          pages simulated per wall-clock second, per-phase
 //!                          timing) for tracking simulator throughput; the
-//!                          record schema is `ssdsim-bench/7` (array runs
+//!                          record schema is `ssdsim-bench/8` (array runs
 //!                          add an `array` section with scheduler telemetry
 //!                          — driver mode, epochs, steal counts — plus
 //!                          per-member entries with their own
@@ -401,7 +401,7 @@ fn perf_record(
     // workload generation and closed-loop scheduling).
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/7")
+        .field("schema", "ssdsim-bench/8")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.victim_policy.as_str())
@@ -451,7 +451,7 @@ fn perf_record(
         .build()
 }
 
-/// The `--bench-json` perf record of an array run (`ssdsim-bench/7`):
+/// The `--bench-json` perf record of an array run (`ssdsim-bench/8`):
 /// the aggregate throughput fields of [`perf_record`] plus an `array`
 /// section with scheduler telemetry and one entry per member with its
 /// page counts, per-phase wall-clock breakdown, and straggler accounting.
@@ -526,7 +526,7 @@ fn array_perf_record(
         .collect();
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/7")
+        .field("schema", "ssdsim-bench/8")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.member_reports[0].victim_policy.as_str())
@@ -638,7 +638,7 @@ fn screened_bench_record(
         })
         .collect();
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/7")
+        .field("schema", "ssdsim-bench/8")
         .field(
             "screening",
             ObjectBuilder::new()

@@ -38,6 +38,24 @@ pub struct GcSignals {
     pub fgc_invocations: u64,
 }
 
+impl GcSignals {
+    /// How far background GC is behind its reserve target, as a fraction
+    /// in `[0, 1]`: `(target_free − free) / target_free`, clamped. Zero
+    /// when the reserve is met (or the policy asks for none); 1 when the
+    /// device has no free capacity at all against a non-zero target. A
+    /// service frontend uses this as its GC-pressure signal — a rising
+    /// debt means the next write burst will land in foreground GC.
+    #[must_use]
+    pub fn gc_debt(&self) -> f64 {
+        let target = self.target_free.as_u64();
+        if target == 0 {
+            return 0.0;
+        }
+        let free = self.free_capacity.as_u64().min(target);
+        (target - free) as f64 / target as f64
+    }
+}
+
 /// A complete simulated storage system: one workload driving one page
 /// cache and one FTL under one background-GC policy.
 ///

@@ -1,0 +1,395 @@
+//! `ssdsimd` — run the multi-tenant queue-pair service from the command
+//! line: either the deterministic in-process closed-loop demo mix, or a
+//! wire-protocol server over TCP / Unix sockets.
+//!
+//! ```text
+//! ssdsimd [OPTIONS]
+//!   --tenants name:profile:weight:iops:conc[,…]
+//!                          the tenant roster; profile is
+//!                          reader|writer|mixed, weight a positive
+//!                          integer, iops the mean closed-loop arrival
+//!                          rate, conc the application threads
+//!                          (default writer:writer:1:1200:8,
+//!                                   reader:reader:4:400:2,
+//!                                   mixed:mixed:2:400:2)
+//!   --policy <none|lbgc|abgc|adp|idle|jit|jit-nosip>  (default jit)
+//!   --seconds <N>          simulated seconds per tenant stream (default 60)
+//!   --seed <N>             base RNG seed                      (default 42)
+//!   --sq-depth <N>         per-tenant submission-queue depth  (default 64)
+//!   --dispatch-window <N>  device-side in-flight request cap  (default 32)
+//!   --tier-yellow <F>      Yellow entry threshold             (default 0.50)
+//!   --tier-red <F>         Red entry threshold                (default 0.75)
+//!   --tier-black <F>       Black entry threshold              (default 0.90)
+//!   --tier-hysteresis <F>  margin below entry to leave a tier (default 0.05)
+//!   --no-backpressure      track tiers but never defer or shed
+//!   --worker-threads <N>   trace-generation workers; reports are
+//!                          byte-identical for any value        (default 1)
+//!   --small                use the small test device (default: default_sim)
+//!   --no-prefill           start from an erased device (default: aged)
+//!   --json                 emit the deterministic service report as JSON
+//!   --bench-json <path>    write a machine-readable perf record
+//!                          (`ssdsim-bench/8`: wall-time fields plus the
+//!                          full `service` block)
+//!   --listen <addr>        serve the wire protocol on a TCP address
+//!                          instead of running the in-process demo
+//!   --unix <path>          serve on a Unix socket (unix only)
+//!   --sessions <N>         wire sessions to serve before reporting
+//!                          (default: the tenant count)
+//! ```
+//!
+//! Every knob is validated up front; a bad value names the offending knob
+//! on stderr and exits 2.
+
+use std::time::Instant;
+
+use jitgc_core::system::SystemConfig;
+use jitgc_service::{
+    run_closed_loop, serve, Endpoint, PolicyChoice, Service, ServiceConfig, ServiceReport,
+    TenantProfile, TenantSpec, TierThresholds,
+};
+use jitgc_sim::json::{JsonValue, ObjectBuilder};
+use jitgc_sim::SimTime;
+
+struct Args {
+    tenants: Vec<TenantSpec>,
+    policy: PolicyChoice,
+    seconds: u64,
+    seed: u64,
+    sq_depth: usize,
+    dispatch_window: usize,
+    tiers: TierThresholds,
+    backpressure: bool,
+    worker_threads: usize,
+    small: bool,
+    prefill: bool,
+    json: bool,
+    bench_json: Option<String>,
+    listen: Option<String>,
+    unix: Option<String>,
+    sessions: Option<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            tenants: default_tenants(),
+            policy: PolicyChoice::Jit,
+            seconds: 60,
+            seed: 42,
+            sq_depth: 64,
+            dispatch_window: 32,
+            tiers: TierThresholds::default(),
+            backpressure: true,
+            worker_threads: 1,
+            small: false,
+            prefill: true,
+            json: false,
+            bench_json: None,
+            listen: None,
+            unix: None,
+            sessions: None,
+        }
+    }
+}
+
+fn default_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "writer".into(),
+            weight: 1,
+            profile: TenantProfile::Writer,
+            mean_iops: 1_200.0,
+            concurrency: 8,
+        },
+        TenantSpec {
+            name: "reader".into(),
+            weight: 4,
+            profile: TenantProfile::Reader,
+            mean_iops: 400.0,
+            concurrency: 2,
+        },
+        TenantSpec {
+            name: "mixed".into(),
+            weight: 2,
+            profile: TenantProfile::Mixed,
+            mean_iops: 400.0,
+            concurrency: 2,
+        },
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ssdsimd [--tenants name:profile:weight:iops:conc[,…]]");
+    eprintln!("               [--policy none|lbgc|abgc|adp|idle|jit|jit-nosip]");
+    eprintln!("               [--seconds N] [--seed N] [--sq-depth N]");
+    eprintln!("               [--dispatch-window N] [--tier-yellow F] [--tier-red F]");
+    eprintln!("               [--tier-black F] [--tier-hysteresis F]");
+    eprintln!("               [--no-backpressure] [--worker-threads N] [--small]");
+    eprintln!("               [--no-prefill] [--json] [--bench-json PATH]");
+    eprintln!("               [--listen ADDR | --unix PATH] [--sessions N]");
+    eprintln!("see the module docs (`ssdsimd.rs`) for value sets");
+    std::process::exit(2)
+}
+
+fn fail(message: String) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2)
+}
+
+/// Parses one `name:profile:weight:iops:conc` tenant token, naming the
+/// offending field on error.
+fn parse_tenant(token: &str) -> TenantSpec {
+    let parts: Vec<&str> = token.split(':').collect();
+    if parts.len() != 5 {
+        fail(format!(
+            "tenant `{token}` must be name:profile:weight:iops:concurrency"
+        ));
+    }
+    let profile = TenantProfile::parse(parts[1]).unwrap_or_else(|| {
+        fail(format!(
+            "tenant `{}` has unknown profile `{}` (reader|writer|mixed)",
+            parts[0], parts[1]
+        ))
+    });
+    let weight = parts[2].parse().unwrap_or_else(|_| {
+        fail(format!(
+            "tenant `{}` has non-integer weight `{}`",
+            parts[0], parts[2]
+        ))
+    });
+    let mean_iops = parts[3].parse().unwrap_or_else(|_| {
+        fail(format!(
+            "tenant `{}` has non-numeric mean IOPS `{}`",
+            parts[0], parts[3]
+        ))
+    });
+    let concurrency = parts[4].parse().unwrap_or_else(|_| {
+        fail(format!(
+            "tenant `{}` has non-integer concurrency `{}`",
+            parts[0], parts[4]
+        ))
+    });
+    TenantSpec {
+        name: parts[0].to_string(),
+        weight,
+        profile,
+        mean_iops,
+        concurrency,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--tenants" => args.tenants = value().split(',').map(parse_tenant).collect(),
+            "--policy" => {
+                let v = value();
+                args.policy =
+                    PolicyChoice::parse(&v).unwrap_or_else(|| fail(format!("unknown policy: {v}")));
+            }
+            "--seconds" => args.seconds = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--sq-depth" => args.sq_depth = value().parse().unwrap_or_else(|_| usage()),
+            "--dispatch-window" => {
+                args.dispatch_window = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--tier-yellow" => args.tiers.yellow = value().parse().unwrap_or_else(|_| usage()),
+            "--tier-red" => args.tiers.red = value().parse().unwrap_or_else(|_| usage()),
+            "--tier-black" => args.tiers.black = value().parse().unwrap_or_else(|_| usage()),
+            "--tier-hysteresis" => {
+                args.tiers.hysteresis = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--no-backpressure" => args.backpressure = false,
+            "--worker-threads" => args.worker_threads = value().parse().unwrap_or_else(|_| usage()),
+            "--small" => args.small = true,
+            "--no-prefill" => args.prefill = false,
+            "--json" => args.json = true,
+            "--bench-json" => args.bench_json = Some(value()),
+            "--listen" => args.listen = Some(value()),
+            "--unix" => args.unix = Some(value()),
+            "--sessions" => args.sessions = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            other => fail(format!("unknown flag: {other}")),
+        }
+    }
+    args
+}
+
+/// The `--bench-json` perf record: wall-clock throughput of the simulator
+/// plus the full deterministic `service` block (schema `ssdsim-bench/8`).
+fn perf_record(args: &Args, report: &ServiceReport, setup_secs: f64, run_secs: f64) -> JsonValue {
+    let per_sec = |count: u64| -> f64 {
+        if run_secs > 0.0 {
+            count as f64 / run_secs
+        } else {
+            0.0
+        }
+    };
+    ObjectBuilder::new()
+        .field("schema", "ssdsim-bench/8")
+        .field("benchmark", "service")
+        .field("policy", report.device.policy.as_str())
+        .field("seed", args.seed)
+        .field("simulated_secs", report.duration_us as f64 / 1e6)
+        .field("ops", report.device.ops)
+        .field("host_pages_written", report.device.host_pages_written)
+        .field("nand_pages_programmed", report.device.nand_pages_programmed)
+        .field("wall_secs", setup_secs + run_secs)
+        .field("setup_secs", setup_secs)
+        .field("run_secs", run_secs)
+        .field(
+            "host_pages_per_wall_sec",
+            per_sec(report.device.host_pages_written),
+        )
+        .field(
+            "nand_pages_per_wall_sec",
+            per_sec(report.device.nand_pages_programmed),
+        )
+        .field("ops_per_wall_sec", per_sec(report.device.ops))
+        .field("worker_threads", args.worker_threads as u64)
+        // Schema 8: the multi-tenant service block (deterministic).
+        .field("service", report.to_json())
+        .build()
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |v| v.to_string())
+}
+
+fn print_table(report: &ServiceReport) {
+    println!("policy          {}", report.device.policy);
+    println!(
+        "service         {} tenants, SQ depth {}, window {}, backpressure {}",
+        report.tenants.len(),
+        report.sq_depth,
+        report.dispatch_window,
+        if report.backpressure { "on" } else { "off" }
+    );
+    println!(
+        "tiers           green {:.3}s / yellow {:.3}s / red {:.3}s / black {:.3}s ({} transitions)",
+        report.tier.residency_us[0] as f64 / 1e6,
+        report.tier.residency_us[1] as f64 / 1e6,
+        report.tier.residency_us[2] as f64 / 1e6,
+        report.tier.residency_us[3] as f64 / 1e6,
+        report.tier.transitions.len() - 1
+    );
+    println!(
+        "device          WAF {} / FGC {} / p999 {} µs",
+        report
+            .device
+            .waf
+            .map_or_else(|| "n/a".to_owned(), |w| format!("{w:.3}")),
+        report.device.fgc_request_stalls + report.device.fgc_flush_stalls,
+        report.device.latency_p999_us
+    );
+    println!(
+        "{:<10}{:>7}{:>8}{:>10}{:>8}{:>9}{:>9}{:>8}{:>10}{:>10}",
+        "tenant", "weight", "share", "done", "shed", "defer", "waf", "p50", "p999 µs", "max µs"
+    );
+    for t in &report.tenants {
+        println!(
+            "{:<10}{:>7}{:>8}{:>10}{:>8}{:>9}{:>9}{:>8}{:>10}{:>10}",
+            t.name,
+            t.weight,
+            t.served_share
+                .map_or_else(|| "n/a".to_owned(), |s| format!("{:.1}%", s * 100.0)),
+            t.completed,
+            t.shed,
+            t.deferred,
+            t.waf
+                .map_or_else(|| "n/a".to_owned(), |w| format!("{w:.2}")),
+            fmt_opt(t.latency_p50_us),
+            fmt_opt(t.latency_p999_us),
+            fmt_opt(t.latency_max_us),
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut system = if args.small {
+        SystemConfig::small_for_tests()
+    } else {
+        SystemConfig::default_sim()
+    };
+    system.prefill = args.prefill;
+    let cfg = ServiceConfig {
+        tenants: args.tenants.clone(),
+        sq_depth: args.sq_depth,
+        dispatch_window: args.dispatch_window,
+        tiers: args.tiers,
+        backpressure: args.backpressure,
+        worker_threads: args.worker_threads,
+        seconds: args.seconds,
+        seed: args.seed,
+        system,
+    };
+    if let Err(message) = cfg.validate() {
+        fail(message);
+    }
+    if args.listen.is_some() && args.unix.is_some() {
+        fail("--listen and --unix are mutually exclusive".into());
+    }
+
+    let setup_start = Instant::now();
+    let report = if args.listen.is_some() || args.unix.is_some() {
+        let endpoint = if let Some(addr) = &args.listen {
+            let listener = std::net::TcpListener::bind(addr)
+                .unwrap_or_else(|e| fail(format!("cannot listen on {addr}: {e}")));
+            eprintln!(
+                "listening on {}",
+                listener.local_addr().expect("bound socket has an address")
+            );
+            Endpoint::Tcp(listener)
+        } else {
+            #[cfg(unix)]
+            {
+                let path = args.unix.as_deref().expect("checked above");
+                let listener = std::os::unix::net::UnixListener::bind(path)
+                    .unwrap_or_else(|e| fail(format!("cannot listen on {path}: {e}")));
+                eprintln!("listening on {path}");
+                Endpoint::Unix(listener)
+            }
+            #[cfg(not(unix))]
+            fail("--unix requires a unix platform".into())
+        };
+        let sessions = args.sessions.unwrap_or(cfg.tenants.len());
+        let seconds = cfg.seconds;
+        let service = Service::new(cfg, args.policy.build(&args_system(&args)));
+        let mut service = serve(endpoint, service, sessions)
+            .unwrap_or_else(|e| fail(format!("serve failed: {e}")));
+        service.finalize(SimTime::from_secs(seconds))
+    } else {
+        run_closed_loop(&cfg, args.policy.build(&cfg.system))
+    };
+    let setup_plus_run = setup_start.elapsed().as_secs_f64();
+
+    if let Some(path) = &args.bench_json {
+        // The whole wall time is `run` here; the service builds its
+        // engine inside the run (prefill included in setup would need
+        // instrumentation the report does not carry).
+        let record = perf_record(&args, &report, 0.0, setup_plus_run);
+        std::fs::write(path, record.to_pretty()).expect("write bench JSON");
+        eprintln!("wrote perf record to {path}");
+    }
+    if args.json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        print_table(&report);
+    }
+}
+
+/// The system config for serve mode (rebuilt because `cfg` moved into the
+/// service).
+fn args_system(args: &Args) -> SystemConfig {
+    let mut system = if args.small {
+        SystemConfig::small_for_tests()
+    } else {
+        SystemConfig::default_sim()
+    };
+    system.prefill = args.prefill;
+    system
+}

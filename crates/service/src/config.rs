@@ -1,0 +1,317 @@
+//! Service configuration and named-knob validation.
+
+use jitgc_core::system::SystemConfig;
+
+/// The I/O personality a tenant's closed-loop driver generates.
+///
+/// The wire frontend accepts whatever a client submits; profiles exist so
+/// the in-process deterministic driver (and the `ssdsimd` demo) can stand
+/// up a recognisable tenant mix without a per-tenant workload DSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantProfile {
+    /// Latency-sensitive read-only tenant (point reads, 1–4 pages).
+    Reader,
+    /// Throughput-oriented writer (large 8–32-page writes, no reads).
+    Writer,
+    /// A 50/50 read/write tenant with small requests.
+    Mixed,
+}
+
+impl TenantProfile {
+    /// Display name, also the value accepted by the `--tenants` flag.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantProfile::Reader => "reader",
+            TenantProfile::Writer => "writer",
+            TenantProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a `--tenants` profile token.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reader" => Some(TenantProfile::Reader),
+            "writer" => Some(TenantProfile::Writer),
+            "mixed" => Some(TenantProfile::Mixed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TenantProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One tenant of the service: an independent request stream with its own
+/// queue pair, fair-queueing weight, and closed-loop think threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name (and the wire protocol's HELLO identity).
+    pub name: String,
+    /// Fair-queueing weight (> 0). The arbiter serves backlogged tenants
+    /// in proportion to weight; backpressure tiers treat tenants whose
+    /// weight is below the mix's mean as "low-weight".
+    pub weight: u64,
+    /// Request-stream personality for the in-process driver.
+    pub profile: TenantProfile,
+    /// Mean arrival rate of this tenant's closed-loop threads.
+    pub mean_iops: f64,
+    /// Closed-loop application threads (each keeps one request in flight).
+    pub concurrency: u32,
+}
+
+/// Tier entry thresholds on the service's pressure signal, plus the
+/// hysteresis margin for leaving a tier.
+///
+/// Pressure is `max(queue occupancy fraction, GC debt)` in `[0, 1]`.
+/// A tier is entered when pressure reaches its threshold and left only
+/// when pressure falls below `threshold − hysteresis`, so a signal
+/// hovering at a boundary cannot oscillate the tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierThresholds {
+    /// Entry threshold of Yellow (defer low-weight tenants' writes).
+    pub yellow: f64,
+    /// Entry threshold of Red (shed low-weight tenants' writes as Busy).
+    pub red: f64,
+    /// Entry threshold of Black (admit only reads).
+    pub black: f64,
+    /// Margin below a tier's entry threshold required to leave it.
+    pub hysteresis: f64,
+}
+
+impl Default for TierThresholds {
+    fn default() -> Self {
+        TierThresholds {
+            yellow: 0.50,
+            red: 0.75,
+            black: 0.90,
+            hysteresis: 0.05,
+        }
+    }
+}
+
+/// Configuration of the whole multi-tenant service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The tenant roster (≥ 1 entry). The device's logical space is
+    /// partitioned evenly across tenants.
+    pub tenants: Vec<TenantSpec>,
+    /// Per-tenant submission-queue depth (> 0). A full SQ blocks further
+    /// submissions from that tenant (they wait in a stalled buffer and
+    /// re-enter admission when the queue drains).
+    pub sq_depth: usize,
+    /// How many dispatched requests may be in flight at the device at
+    /// once (> 0) — the service-side analogue of NVMe queue depth.
+    pub dispatch_window: usize,
+    /// Backpressure tier thresholds (strictly increasing).
+    pub tiers: TierThresholds,
+    /// Master switch: with backpressure off the tier policy still tracks
+    /// pressure (for the report) but never defers or sheds.
+    pub backpressure: bool,
+    /// Worker threads for the parallel per-tenant trace-generation phase
+    /// of the in-process driver (≥ 1, ≤ tenant count). Reports are
+    /// byte-identical for any value.
+    pub worker_threads: usize,
+    /// Simulated seconds each tenant's workload emits.
+    pub seconds: u64,
+    /// Base RNG seed; tenant `i` derives its stream seed from it.
+    pub seed: u64,
+    /// The backing device (engine) configuration.
+    pub system: SystemConfig,
+}
+
+impl ServiceConfig {
+    /// A small three-tenant configuration for tests and examples: one hot
+    /// writer, one latency-sensitive reader, one mixed tenant, on the
+    /// `small_for_tests` device.
+    #[must_use]
+    pub fn small_for_tests() -> Self {
+        ServiceConfig {
+            tenants: vec![
+                TenantSpec {
+                    name: "writer".into(),
+                    weight: 1,
+                    profile: TenantProfile::Writer,
+                    mean_iops: 1_200.0,
+                    concurrency: 8,
+                },
+                TenantSpec {
+                    name: "reader".into(),
+                    weight: 4,
+                    profile: TenantProfile::Reader,
+                    mean_iops: 400.0,
+                    concurrency: 2,
+                },
+                TenantSpec {
+                    name: "mixed".into(),
+                    weight: 2,
+                    profile: TenantProfile::Mixed,
+                    mean_iops: 400.0,
+                    concurrency: 2,
+                },
+            ],
+            sq_depth: 16,
+            dispatch_window: 8,
+            tiers: TierThresholds::default(),
+            backpressure: true,
+            worker_threads: 1,
+            seconds: 30,
+            seed: 42,
+            system: SystemConfig::small_for_tests(),
+        }
+    }
+
+    /// Checks every knob, returning a human-readable error naming the
+    /// offending one for the CLI to print instead of a panic deep in the
+    /// scheduler. [`Service::new`](crate::Service::new) asserts this.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob when the tenant list
+    /// is empty, any weight is zero, any concurrency or arrival rate is
+    /// non-positive, the SQ depth or dispatch window is zero, the tier
+    /// thresholds are not strictly increasing within `(0, 1]`, the
+    /// hysteresis is negative or at least the Yellow threshold, the
+    /// worker-thread count is zero or exceeds the tenant count, or the
+    /// tenants' combined working set does not fit the device.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants.is_empty() {
+            return Err("the service needs at least one tenant".into());
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.weight == 0 {
+                return Err(format!(
+                    "tenant {} ({}) has weight 0; fair-queueing weights must be positive",
+                    i, t.name
+                ));
+            }
+            if t.concurrency == 0 {
+                return Err(format!(
+                    "tenant {} ({}) has concurrency 0; a closed loop needs at least one thread",
+                    i, t.name
+                ));
+            }
+            if t.mean_iops.is_nan() || t.mean_iops <= 0.0 {
+                return Err(format!(
+                    "tenant {} ({}) has non-positive mean IOPS {}",
+                    i, t.name, t.mean_iops
+                ));
+            }
+        }
+        if self.sq_depth == 0 {
+            return Err("the submission-queue depth must be at least 1".into());
+        }
+        if self.dispatch_window == 0 {
+            return Err("the dispatch window must be at least 1".into());
+        }
+        let t = &self.tiers;
+        if !(t.yellow > 0.0 && t.yellow < t.red && t.red < t.black && t.black <= 1.0) {
+            return Err(format!(
+                "tier thresholds must be strictly increasing within (0, 1]: \
+                 yellow {} < red {} < black {}",
+                t.yellow, t.red, t.black
+            ));
+        }
+        if !(t.hysteresis >= 0.0 && t.hysteresis < t.yellow) {
+            return Err(format!(
+                "tier hysteresis {} must be non-negative and below the Yellow threshold {}",
+                t.hysteresis, t.yellow
+            ));
+        }
+        if self.worker_threads == 0 {
+            return Err("trace generation needs at least one worker thread".into());
+        }
+        if self.worker_threads > self.tenants.len() {
+            return Err(format!(
+                "{} worker threads exceed the {} tenants; extra workers would never find work",
+                self.worker_threads,
+                self.tenants.len()
+            ));
+        }
+        if self.seconds == 0 {
+            return Err("the run needs at least one simulated second".into());
+        }
+        let usable = self.system.ftl.user_pages() - self.system.ftl.op_pages() / 2;
+        let per_tenant = usable / self.tenants.len() as u64;
+        if per_tenant < 64 {
+            return Err(format!(
+                "{} tenants leave {per_tenant} pages each on this device; \
+                 shrink the roster or grow the device",
+                self.tenants.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Pages of logical space each tenant owns: the standard experiment
+    /// working set (user capacity minus half the over-provisioning) split
+    /// evenly across the roster.
+    #[must_use]
+    pub fn pages_per_tenant(&self) -> u64 {
+        let usable = self.system.ftl.user_pages() - self.system.ftl.op_pages() / 2;
+        usable / self.tenants.len() as u64
+    }
+
+    /// Mean weight of the roster; tenants strictly below it are the
+    /// "low-weight" class that Yellow defers and Red sheds.
+    #[must_use]
+    pub fn mean_weight(&self) -> f64 {
+        let sum: u64 = self.tenants.iter().map(|t| t.weight).sum();
+        sum as f64 / self.tenants.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_validates() {
+        assert_eq!(ServiceConfig::small_for_tests().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_the_offending_knob() {
+        let err = |mutate: &dyn Fn(&mut ServiceConfig)| {
+            let mut cfg = ServiceConfig::small_for_tests();
+            mutate(&mut cfg);
+            cfg.validate().unwrap_err()
+        };
+        assert!(err(&|c| c.tenants.clear()).contains("at least one tenant"));
+        assert!(err(&|c| c.tenants[0].weight = 0).contains("weight 0"));
+        assert!(err(&|c| c.tenants[1].concurrency = 0).contains("concurrency 0"));
+        assert!(err(&|c| c.tenants[2].mean_iops = 0.0).contains("mean IOPS"));
+        assert!(err(&|c| c.sq_depth = 0).contains("submission-queue depth"));
+        assert!(err(&|c| c.dispatch_window = 0).contains("dispatch window"));
+        assert!(err(&|c| c.tiers.red = 0.4).contains("strictly increasing"));
+        assert!(err(&|c| c.tiers.black = 1.5).contains("strictly increasing"));
+        assert!(err(&|c| c.tiers.hysteresis = 0.6).contains("hysteresis"));
+        assert!(err(&|c| c.worker_threads = 0).contains("worker thread"));
+        assert!(err(&|c| c.worker_threads = 9).contains("exceed"));
+        assert!(err(&|c| c.seconds = 0).contains("simulated second"));
+    }
+
+    #[test]
+    fn profile_parse_round_trips() {
+        for p in [
+            TenantProfile::Reader,
+            TenantProfile::Writer,
+            TenantProfile::Mixed,
+        ] {
+            assert_eq!(TenantProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(TenantProfile::parse("gamer"), None);
+    }
+
+    #[test]
+    fn low_weight_class_is_below_mean() {
+        let cfg = ServiceConfig::small_for_tests();
+        // Weights 1, 4, 2 → mean 7/3 ≈ 2.33: writer and mixed are low.
+        assert!((cfg.tenants[0].weight as f64) < cfg.mean_weight());
+        assert!((cfg.tenants[1].weight as f64) > cfg.mean_weight());
+    }
+}

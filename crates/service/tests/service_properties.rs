@@ -1,0 +1,156 @@
+//! Property tests for the service's scheduling invariants (enable with
+//! `--features proptest`; the feature adds the registry dependency and is
+//! off in the offline default build).
+//!
+//! * WFQ fairness: always-backlogged tenants converge to their weight
+//!   shares and nobody starves, for arbitrary weights and request sizes.
+//! * WFQ isolation: an idle tenant cannot bank credit while away.
+//! * Tier hysteresis: arbitrary pressure sequences can never escalate a
+//!   tier without reaching its entry threshold, never de-escalate without
+//!   clearing the hysteresis margin, and never oscillate on a signal that
+//!   dithers inside the margin.
+
+#![cfg(feature = "proptest")]
+
+use jitgc_service::{ServiceConfig, TierThresholds};
+use jitgc_service::{Tier, TierPolicy, WfqArbiter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Backlogged tenants with arbitrary positive weights and arbitrary
+    /// per-request sizes serve within a few percent of their weight
+    /// shares, and every tenant makes progress.
+    #[test]
+    fn wfq_backlogged_shares_track_weights(
+        weights in proptest::collection::vec(1u64..32, 2..6),
+        sizes in proptest::collection::vec((0usize..6, 1u64..33), 2_000..3_000),
+    ) {
+        let n = weights.len();
+        let mut wfq = WfqArbiter::new(&weights);
+        let mut served = vec![0u64; n];
+        let mut dispatched = 0u64;
+        for &(pick_seed, pages) in &sizes {
+            // Every tenant offers a head; sizes vary per round.
+            let costs: Vec<(usize, u64)> = (0..n)
+                .map(|t| (t, ((pick_seed + t) as u64 % pages + 1) * 4_096))
+                .collect();
+            let t = wfq.pick(costs.iter().copied()).unwrap();
+            let c = costs[t].1;
+            wfq.dispatch(t, c);
+            served[t] += c;
+            dispatched += c;
+        }
+        let wsum: u64 = weights.iter().sum();
+        for t in 0..n {
+            prop_assert!(served[t] > 0, "tenant {t} starved");
+            let share = served[t] as f64 / dispatched as f64;
+            let want = weights[t] as f64 / wsum as f64;
+            prop_assert!(
+                (share - want).abs() < 0.05,
+                "tenant {t}: share {share:.3} vs weight {want:.3}"
+            );
+        }
+    }
+
+    /// However long a tenant idles, on return it gets at most one request
+    /// of head start over an equally-weighted incumbent.
+    #[test]
+    fn wfq_idle_tenant_banks_no_credit(
+        idle_rounds in 1usize..2_000,
+        pages in 1u64..33,
+    ) {
+        let mut wfq = WfqArbiter::new(&[1, 1]);
+        let cost = pages * 4_096;
+        for _ in 0..idle_rounds {
+            wfq.dispatch(0, cost);
+        }
+        wfq.arrive(1);
+        let before = wfq.served_bytes(0);
+        for _ in 0..100 {
+            let t = wfq.pick([(0usize, cost), (1, cost)].into_iter()).unwrap();
+            wfq.dispatch(t, cost);
+        }
+        let incumbent = wfq.served_bytes(0) - before;
+        let returned = wfq.served_bytes(1);
+        prop_assert!(
+            returned <= incumbent + cost,
+            "returning tenant banked {returned} vs {incumbent}"
+        );
+        prop_assert!(incumbent > 0, "incumbent starved");
+    }
+
+    /// For any pressure sequence: escalation requires the entry
+    /// threshold, de-escalation requires clearing the hysteresis margin,
+    /// and a maximal-pressure sample always lands in Black.
+    #[test]
+    fn tier_transitions_respect_thresholds(
+        pressures in proptest::collection::vec(0.0f64..=1.0, 1..200),
+    ) {
+        let thresholds = TierThresholds::default();
+        let mut policy = TierPolicy::new(thresholds);
+        let entry = |t: Tier| match t {
+            Tier::Green => 0.0,
+            Tier::Yellow => thresholds.yellow,
+            Tier::Red => thresholds.red,
+            Tier::Black => thresholds.black,
+        };
+        let mut prev = Tier::Green;
+        for &p in &pressures {
+            let now = policy.update(p);
+            if now > prev {
+                prop_assert!(p >= entry(now), "entered {now} at pressure {p}");
+            }
+            if now < prev {
+                // Every tier left on the way down was cleared by margin.
+                prop_assert!(
+                    p < entry(prev) - thresholds.hysteresis,
+                    "left {prev} at pressure {p}"
+                );
+            }
+            if p >= thresholds.black {
+                prop_assert!(now == Tier::Black);
+            }
+            prev = now;
+        }
+    }
+
+    /// A signal dithering inside the hysteresis band causes at most one
+    /// transition, ever.
+    #[test]
+    fn tier_never_oscillates_inside_the_band(
+        base in 0.46f64..0.50,
+        jitter in proptest::collection::vec(-0.03f64..0.03, 1..100),
+    ) {
+        let thresholds = TierThresholds::default();
+        let mut policy = TierPolicy::new(thresholds);
+        let mut transitions = 0;
+        let mut prev = policy.update(base);
+        for &j in &jitter {
+            let now = policy.update((base + j).clamp(0.0, 1.0));
+            if now != prev {
+                transitions += 1;
+            }
+            prev = now;
+        }
+        // 0.46..0.53 spans Yellow's entry (0.50) but stays above its exit
+        // (0.45): one Green→Yellow transition at most, never back.
+        prop_assert!(transitions <= 1, "tier oscillated {transitions} times");
+    }
+
+    /// `validate` accepts exactly the documented knob space for tier
+    /// thresholds.
+    #[test]
+    fn tier_threshold_validation_matches_docs(
+        yellow in 0.01f64..1.0,
+        red in 0.01f64..1.0,
+        black in 0.01f64..1.0,
+        hysteresis in 0.0f64..1.0,
+    ) {
+        let mut cfg = ServiceConfig::small_for_tests();
+        cfg.tiers = TierThresholds { yellow, red, black, hysteresis };
+        let ok = yellow < red && red < black && black <= 1.0 && hysteresis < yellow;
+        prop_assert_eq!(cfg.validate().is_ok(), ok);
+    }
+}

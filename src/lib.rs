@@ -14,6 +14,9 @@
 //! * [`array`] — striped multi-SSD array layer with GC-aware routing.
 //! * [`model`] — analytical mean-field WAF/lifetime model used to screen
 //!   sweep configurations before simulating them.
+//! * [`service`] — multi-tenant queue-pair frontend: per-tenant
+//!   submission/completion queues, weighted fair queueing, and tiered
+//!   backpressure over one engine.
 
 #![forbid(unsafe_code)]
 
@@ -23,5 +26,6 @@ pub use jitgc_ftl as ftl;
 pub use jitgc_model as model;
 pub use jitgc_nand as nand;
 pub use jitgc_pagecache as pagecache;
+pub use jitgc_service as service;
 pub use jitgc_sim as sim;
 pub use jitgc_workload as workload;
