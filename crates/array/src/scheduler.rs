@@ -408,7 +408,7 @@ fn route_mirrored_sub(
 /// deterministic [`ArrayReport`] — reports stay byte-identical across
 /// `--array-sched` modes and thread counts, while this struct tells you
 /// what the machinery did to get there. Surfaced in `--bench-json`
-/// (`ssdsim-bench/8`), never in `--json`.
+/// (`ssdsim-bench/9`), never in `--json`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchedTelemetry {
     /// Driver that produced the last run.
@@ -583,6 +583,7 @@ impl ArrayScheduler {
             total.bgc += p.bgc;
             total.reporting += p.reporting;
             total.gc_copy += p.gc_copy;
+            total.tick += p.tick;
         }
         total
     }
@@ -636,6 +637,31 @@ impl ArrayScheduler {
         for member in &mut self.members {
             member.set_bulk_gc(enabled);
         }
+    }
+
+    /// Switches every member's quiescence fast-forward (see
+    /// [`SsdSystem::set_fast_forward`]; on by default). Byte-identical
+    /// reports either way — an A/B wall-clock switch. Works under both
+    /// driver modes and any worker-thread count: a skip only moves a
+    /// member's virtual clock to where the per-tick loop would have put
+    /// it, so `time_behind` ordering is unaffected.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        for member in &mut self.members {
+            member.set_fast_forward(enabled);
+        }
+    }
+
+    /// Total flusher ticks elided by the quiescence fast-forward across
+    /// all members.
+    #[must_use]
+    pub fn ticks_skipped(&self) -> u64 {
+        self.members.iter().map(SsdSystem::ticks_skipped).sum()
+    }
+
+    /// Total fast-forwarded idle spans across all members.
+    #[must_use]
+    pub fn ff_spans(&self) -> u64 {
+        self.members.iter().map(SsdSystem::ff_spans).sum()
     }
 
     /// Per-member phase profiles, index-aligned with

@@ -54,7 +54,7 @@
 //!   --bench-json <path>    also write a machine-readable perf record (host
 //!                          pages simulated per wall-clock second, per-phase
 //!                          timing) for tracking simulator throughput; the
-//!                          record schema is `ssdsim-bench/8` (array runs
+//!                          record schema is `ssdsim-bench/9` (array runs
 //!                          add an `array` section with scheduler telemetry
 //!                          — driver mode, epochs, steal counts — plus
 //!                          per-member entries with their own
@@ -88,6 +88,12 @@
 //!                          GC migration path: vectorized copy_pages or the
 //!                          per-page loop; observationally identical, an
 //!                          A/B measurement switch      (default bulk)
+//!   --fast-forward <on|off>
+//!                          quiescence fast-forward: skip provably idle
+//!                          flusher ticks in O(1) (DESIGN.md §15); reports
+//!                          are byte-identical either way, only wall time
+//!                          and the `ticks_skipped`/`ff_spans` bench-json
+//!                          counters change               (default on)
 //!   --queue-depth <N>      closed-loop application threads  (default: config)
 //! ```
 
@@ -138,6 +144,7 @@ struct Args {
     member_threads: usize,
     array_sched: ArraySched,
     bulk_gc: bool,
+    fast_forward: bool,
     queue_depth: Option<u32>,
 }
 
@@ -177,6 +184,7 @@ impl Default for Args {
             member_threads: 1,
             array_sched: ArraySched::Steal,
             bulk_gc: true,
+            fast_forward: true,
             queue_depth: None,
         }
     }
@@ -198,7 +206,8 @@ fn usage() -> ! {
     eprintln!("              [--array N] [--stripe-kb K] [--mirror]");
     eprintln!("              [--gc-mode staggered|unsync] [--member-threads N]");
     eprintln!("              [--array-sched steal|barrier]");
-    eprintln!("              [--gc-migration bulk|looped] [--queue-depth N]");
+    eprintln!("              [--gc-migration bulk|looped] [--fast-forward on|off]");
+    eprintln!("              [--queue-depth N]");
     eprintln!("see the module docs (`ssdsim.rs`) for value sets");
     std::process::exit(2)
 }
@@ -369,6 +378,16 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--fast-forward" => {
+                args.fast_forward = match value().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("unknown fast-forward mode: {other}");
+                        usage()
+                    }
+                }
+            }
             "--queue-depth" => args.queue_depth = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
@@ -380,15 +399,28 @@ fn parse_args() -> Args {
     args
 }
 
+/// Wall-clock split of one run: device/workload construction versus
+/// stepping.
+#[derive(Clone, Copy)]
+struct Wall {
+    setup_secs: f64,
+    run_secs: f64,
+}
+
 /// Builds the `--bench-json` perf record: how fast the *simulator itself*
 /// ran, so successive commits can track the throughput trajectory.
 fn perf_record(
     args: &Args,
     report: &jitgc_core::system::SimReport,
-    setup_secs: f64,
-    run_secs: f64,
+    wall: Wall,
     profile: &PhaseProfile,
+    ticks_skipped: u64,
+    ff_spans: u64,
 ) -> JsonValue {
+    let Wall {
+        setup_secs,
+        run_secs,
+    } = wall;
     let wall_secs = setup_secs + run_secs;
     let per_sec = |count: u64| -> f64 {
         if run_secs > 0.0 {
@@ -401,7 +433,7 @@ fn perf_record(
     // workload generation and closed-loop scheduling).
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/8")
+        .field("schema", "ssdsim-bench/9")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.victim_policy.as_str())
@@ -447,11 +479,20 @@ fn perf_record(
         // Schema 5: the GC copy sub-phase (contained in the phases above,
         // excluded from the untracked remainder computation).
         .field("phase_gc_copy_secs", profile.gc_copy.as_secs_f64())
+        // Schema 9: the tick super-phase (wall time inside the periodic
+        // tick catch-up — contains flush/predictor work, excluded from
+        // the untracked remainder) and the quiescence fast-forward
+        // counters. Wall-clock facts; the deterministic report carries
+        // neither, which is what keeps it byte-identical FF on vs off.
+        .field("phase_tick_secs", profile.tick.as_secs_f64())
+        .field("fast_forward", args.fast_forward)
+        .field("ticks_skipped", ticks_skipped)
+        .field("ff_spans", ff_spans)
         .field("phase_untracked_secs", untracked)
         .build()
 }
 
-/// The `--bench-json` perf record of an array run (`ssdsim-bench/8`):
+/// The `--bench-json` perf record of an array run (`ssdsim-bench/9`):
 /// the aggregate throughput fields of [`perf_record`] plus an `array`
 /// section with scheduler telemetry and one entry per member with its
 /// page counts, per-phase wall-clock breakdown, and straggler accounting.
@@ -462,12 +503,16 @@ fn perf_record(
 fn array_perf_record(
     args: &Args,
     report: &ArrayReport,
-    setup_secs: f64,
-    run_secs: f64,
+    wall: Wall,
     profile: &PhaseProfile,
     member_profiles: &[PhaseProfile],
     telemetry: &SchedTelemetry,
+    ff: &FfCounters,
 ) -> JsonValue {
+    let Wall {
+        setup_secs,
+        run_secs,
+    } = wall;
     let wall_secs = setup_secs + run_secs;
     let per_sec = |count: u64| -> f64 {
         if run_secs > 0.0 {
@@ -508,6 +553,13 @@ fn array_perf_record(
                 .field("phase_bgc_secs", p.bgc.as_secs_f64())
                 .field("phase_reporting_secs", p.reporting.as_secs_f64())
                 .field("phase_gc_copy_secs", p.gc_copy.as_secs_f64())
+                // Schema 9: this member's tick super-phase and elided
+                // ticks.
+                .field("phase_tick_secs", p.tick.as_secs_f64())
+                .field(
+                    "ticks_skipped",
+                    ff.member_ticks.get(i).copied().unwrap_or(0),
+                )
                 // Schema 6: straggler accounting (simulated-time facts)
                 // and this member's steal count (a wall-clock fact).
                 .field("steps", sched.steps)
@@ -526,7 +578,7 @@ fn array_perf_record(
         .collect();
     let untracked = (run_secs - profile.accounted().as_secs_f64()).max(0.0);
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/8")
+        .field("schema", "ssdsim-bench/9")
         .field("benchmark", report.workload.as_str())
         .field("policy", report.policy.as_str())
         .field("victim", report.member_reports[0].victim_policy.as_str())
@@ -563,6 +615,12 @@ fn array_perf_record(
         .field("phase_bgc_secs", profile.bgc.as_secs_f64())
         .field("phase_reporting_secs", profile.reporting.as_secs_f64())
         .field("phase_gc_copy_secs", profile.gc_copy.as_secs_f64())
+        // Schema 9: tick super-phase plus the array-wide fast-forward
+        // counters (per-member counts live in `member_perf`).
+        .field("phase_tick_secs", profile.tick.as_secs_f64())
+        .field("fast_forward", args.fast_forward)
+        .field("ticks_skipped", ff.ticks_skipped)
+        .field("ff_spans", ff.ff_spans)
         .field("phase_untracked_secs", untracked)
         // Schema 5: the parallel-stepping width (1 = serial scheduler).
         .field("member_threads", args.member_threads as u64)
@@ -588,8 +646,24 @@ fn array_perf_record(
 }
 
 /// One simulated sweep cell's raw material: the report plus the wall-time
-/// split and phase profile the perf record is built from.
-type SingleRun = (jitgc_core::system::SimReport, f64, f64, PhaseProfile);
+/// split, phase profile, and fast-forward counters (`ticks_skipped`,
+/// `ff_spans`) the perf record is built from.
+type SingleRun = (
+    jitgc_core::system::SimReport,
+    f64,
+    f64,
+    PhaseProfile,
+    u64,
+    u64,
+);
+
+/// Quiescence fast-forward counters of an array run: the aggregate plus
+/// the per-member tick counts (index-aligned with `member_perf`).
+struct FfCounters {
+    ticks_skipped: u64,
+    ff_spans: u64,
+    member_ticks: Vec<u64>,
+}
 
 /// Serializes one cell's model prediction.
 fn model_json(pred: &jitgc_model::Prediction) -> JsonValue {
@@ -628,17 +702,27 @@ fn screened_bench_record(
                 .field("simulated", plan.keep[i])
                 .field("pareto", plan.pareto[i])
                 .field("model", model_json(&plan.predictions[i]));
-            if let Some((report, setup_secs, run_secs, profile)) = &runs[i] {
+            if let Some((report, setup_secs, run_secs, profile, ticks, spans)) = &runs[i] {
                 b = b.field(
                     "perf",
-                    perf_record(args, report, *setup_secs, *run_secs, profile),
+                    perf_record(
+                        args,
+                        report,
+                        Wall {
+                            setup_secs: *setup_secs,
+                            run_secs: *run_secs,
+                        },
+                        profile,
+                        *ticks,
+                        *spans,
+                    ),
                 );
             }
             b.build()
         })
         .collect();
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/8")
+        .field("schema", "ssdsim-bench/9")
         .field(
             "screening",
             ObjectBuilder::new()
@@ -683,7 +767,7 @@ fn print_sweep_table(
         // Cell labels, not `report.policy`: ablation variants (e.g.
         // JIT-GC without SIP) self-report the base policy's name.
         match &runs[i] {
-            Some((report, _, _, _)) => println!(
+            Some((report, ..)) => println!(
                 "{:<12}{:<16}{:>6}{:>11}{:>10.0}{:>8}{:>10}{:>12}",
                 cell.benchmark.to_string(),
                 cell.policy.name(),
@@ -786,6 +870,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
             let workload = benchmark.build(workload_config);
             let mut sim = config.build(|cfg| policy.build(cfg), workload);
             sim.set_bulk_gc(args.bulk_gc);
+            sim.set_fast_forward(args.fast_forward);
             if profile_phases {
                 sim.enable_phase_profiling();
             }
@@ -794,6 +879,15 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
             let report = sim.run();
             let run_secs = run_start.elapsed().as_secs_f64();
             let member_profiles = sim.member_profiles();
+            let ff = FfCounters {
+                ticks_skipped: sim.ticks_skipped(),
+                ff_spans: sim.ff_spans(),
+                member_ticks: sim
+                    .members()
+                    .iter()
+                    .map(jitgc_core::system::SsdSystem::ticks_skipped)
+                    .collect(),
+            };
             (
                 report,
                 setup_secs,
@@ -801,6 +895,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
                 sim.phase_profile(),
                 member_profiles,
                 sim.sched_telemetry(),
+                ff,
             )
         },
     );
@@ -809,15 +904,18 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         let records: Vec<JsonValue> = runs
             .iter()
             .map(
-                |(report, setup_secs, run_secs, profile, member_profiles, telemetry)| {
+                |(report, setup_secs, run_secs, profile, member_profiles, telemetry, ff)| {
                     array_perf_record(
                         args,
                         report,
-                        *setup_secs,
-                        *run_secs,
+                        Wall {
+                            setup_secs: *setup_secs,
+                            run_secs: *run_secs,
+                        },
                         profile,
                         member_profiles,
                         telemetry,
+                        ff,
                     )
                 },
             )
@@ -832,7 +930,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
     }
 
     if args.json {
-        let reports: Vec<JsonValue> = runs.iter().map(|(r, _, _, _, _, _)| r.to_json()).collect();
+        let reports: Vec<JsonValue> = runs.iter().map(|(r, ..)| r.to_json()).collect();
         let text = if reports.len() == 1 {
             reports[0].to_pretty()
         } else {
@@ -847,7 +945,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
             "{:<12}{:>10}{:>8}{:>10}{:>10}{:>12}{:>12}",
             "benchmark", "IOPS", "WAF", "FGC", "BGC blk", "p99 µs", "p999 µs"
         );
-        for (report, _, _, _, _, _) in &runs {
+        for (report, ..) in &runs {
             println!(
                 "{:<12}{:>10.0}{:>8}{:>10}{:>10}{:>12}{:>12}",
                 report.workload,
@@ -861,7 +959,7 @@ fn run_array(args: &Args, system: &SystemConfig, members: usize) {
         }
         return;
     }
-    let (report, _, _, _, _, _) = runs.into_iter().next().expect("one benchmark ran");
+    let (report, ..) = runs.into_iter().next().expect("one benchmark ran");
     println!(
         "array           {} members, {} KiB chunks, {}, {}",
         report.members, args.stripe_kb, report.redundancy, report.gc_mode
@@ -1041,6 +1139,7 @@ fn main() {
     let threads = if kept.len() == 1 { 1 } else { args.threads };
     let profile_phases = args.bench_json.is_some();
     let bulk_gc = args.bulk_gc;
+    let fast_forward = args.fast_forward;
     let system_ref = &system;
     let cells_ref = &cells;
     let seconds = args.seconds;
@@ -1060,6 +1159,7 @@ fn main() {
         let policy = cell.policy.build(&cell_system);
         let mut sim = SsdSystem::new(cell_system, policy, workload);
         sim.set_bulk_gc(bulk_gc);
+        sim.set_fast_forward(fast_forward);
         if profile_phases {
             sim.enable_phase_profiling();
         }
@@ -1067,7 +1167,14 @@ fn main() {
         let run_start = Instant::now();
         let report = sim.run();
         let run_secs = run_start.elapsed().as_secs_f64();
-        (report, setup_secs, run_secs, sim.phase_profile())
+        (
+            report,
+            setup_secs,
+            run_secs,
+            sim.phase_profile(),
+            sim.ticks_skipped(),
+            sim.ff_spans(),
+        )
     });
     // Scatter the kept-cell results back into cell order; screened-out
     // cells stay `None`.
@@ -1086,9 +1193,19 @@ fn main() {
                 let records: Vec<JsonValue> = runs
                     .iter()
                     .map(|run| {
-                        let (report, setup_secs, run_secs, profile) =
+                        let (report, setup_secs, run_secs, profile, ticks, spans) =
                             run.as_ref().expect("unscreened sweeps simulate every cell");
-                        perf_record(&args, report, *setup_secs, *run_secs, profile)
+                        perf_record(
+                            &args,
+                            report,
+                            Wall {
+                                setup_secs: *setup_secs,
+                                run_secs: *run_secs,
+                            },
+                            profile,
+                            *ticks,
+                            *spans,
+                        )
                     })
                     .collect();
                 if records.len() == 1 {
@@ -1109,7 +1226,7 @@ fn main() {
             let reports: Vec<JsonValue> = runs
                 .iter()
                 .flatten()
-                .map(|(report, _, _, _)| report.to_json())
+                .map(|(report, ..)| report.to_json())
                 .collect();
             println!("{}", JsonValue::Array(reports).to_pretty());
         } else if args.policies.len() == 1 && args.op_sweep.is_empty() && plan.is_none() {
@@ -1119,7 +1236,7 @@ fn main() {
                 "benchmark", "IOPS", "WAF", "FGC", "BGC blk", "p99 µs"
             );
             for run in runs.iter().flatten() {
-                let (report, _, _, _) = run;
+                let (report, ..) = run;
                 println!(
                     "{:<12}{:>10.0}{:>8}{:>10}{:>10}{:>12}",
                     report.workload,
@@ -1135,7 +1252,7 @@ fn main() {
         }
         return;
     }
-    let (report, _, _, _) = runs
+    let (report, ..) = runs
         .into_iter()
         .next()
         .flatten()

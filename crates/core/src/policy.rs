@@ -71,6 +71,22 @@ pub trait GcPolicy: Send {
     /// The decision at the start of each write-back interval.
     fn on_interval(&mut self, obs: &IntervalObservation<'_>) -> PolicyDecision;
 
+    /// `true` when a zero-traffic [`on_interval`] call maps this policy
+    /// exactly onto itself *and* returns the same decision as the last
+    /// such call: given an observation with zero demands, zero
+    /// `device_bytes_last_interval`, and unchanged capacities, the policy
+    /// mutates no internal state and its decision does not depend on
+    /// `obs.now`. The engine's quiescence fast-forward may then skip the
+    /// call entirely across an idle span. Policies whose state drifts on
+    /// idle intervals (EWMAs, incomplete sliding windows) must answer
+    /// `false`; the conservative default is `false`, which only costs
+    /// performance, never correctness.
+    ///
+    /// [`on_interval`]: Self::on_interval
+    fn zero_traffic_fixed_point(&self) -> bool {
+        false
+    }
+
     /// Feedback: an observed host-write transfer (for `B_w` estimation).
     fn observe_write(&mut self, _bytes: ByteSize, _took: SimDuration) {}
 
@@ -97,6 +113,11 @@ impl GcPolicy for NoBgc {
             target_free: ByteSize::ZERO,
             predicted_next_interval: None,
         }
+    }
+
+    // Stateless and time-free: every interval decision is identical.
+    fn zero_traffic_fixed_point(&self) -> bool {
+        true
     }
 }
 
@@ -188,6 +209,11 @@ impl GcPolicy for ReservedCapacity {
             predicted_next_interval: None,
         }
     }
+
+    // Stateless and time-free: the target is a configuration constant.
+    fn zero_traffic_fixed_point(&self) -> bool {
+        true
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -245,6 +271,11 @@ impl Default for IdleGc {
 }
 
 impl GcPolicy for IdleGc {
+    // NOTE: `zero_traffic_fixed_point` stays at the trait default
+    // (`false`): both EWMAs move on every interval — zero samples
+    // included — so even a long-idle IdleGc is never an exact self-map
+    // and cannot be fast-forwarded.
+
     fn name(&self) -> &'static str {
         "IDLE-GC"
     }
@@ -335,6 +366,14 @@ impl GcPolicy for AdpGc {
             target_free: reserve.max(obs.free_capacity + decision.reclaim).min(cap),
             predicted_next_interval: Some(demand.total()),
         }
+    }
+
+    // ADP-GC's only interval-to-interval state is its internal traffic
+    // predictor (the manager mutates solely via observe_write/observe_gc
+    // and decides time-free): once the predictor's windows are saturated
+    // with zeros, a zero-traffic interval is an exact self-map.
+    fn zero_traffic_fixed_point(&self) -> bool {
+        self.predictor.at_zero_traffic_fixed_point()
     }
 
     fn observe_write(&mut self, bytes: ByteSize, took: SimDuration) {
@@ -433,6 +472,14 @@ impl GcPolicy for JitGc {
             target_free: floor.max(obs.free_capacity + decision.reclaim).min(cap),
             predicted_next_interval: Some(obs.buffered_demand.total() + obs.direct_demand.total()),
         }
+    }
+
+    // `on_interval` never mutates JIT-GC: the manager decides through
+    // `&self` from demands and capacities alone (no `obs.now` term), and
+    // its bandwidth estimates move only via observe_write/observe_gc —
+    // which an idle span by definition does not call.
+    fn zero_traffic_fixed_point(&self) -> bool {
+        true
     }
 
     fn observe_write(&mut self, bytes: ByteSize, took: SimDuration) {
@@ -609,6 +656,46 @@ mod tests {
     #[should_panic(expected = "idle fraction must be in (0, 1]")]
     fn idle_gc_rejects_bad_fraction() {
         let _ = IdleGc::new(0.0);
+    }
+
+    #[test]
+    fn zero_traffic_fixed_points_match_policy_statefulness() {
+        let op = ByteSize::bytes(100 * MB);
+        assert!(NoBgc.zero_traffic_fixed_point());
+        assert!(ReservedCapacity::lazy(op).zero_traffic_fixed_point());
+        assert!(JitGc::new(SimDuration::from_secs(30), 40e6, 10e6).zero_traffic_fixed_point());
+        assert!(
+            !IdleGc::default().zero_traffic_fixed_point(),
+            "IdleGc EWMAs drift on idle intervals"
+        );
+    }
+
+    #[test]
+    fn adp_fixed_point_tracks_its_predictor_saturation() {
+        let b = BufferedDemand::zero(6);
+        let d = zero_direct();
+        let mut adp = AdpGc::new(
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(30),
+            0.8,
+            MB,
+            40e6,
+            10e6,
+        );
+        assert!(!adp.zero_traffic_fixed_point(), "windows not yet saturated");
+        // nwb = 6 intervals fill the ring, then 64 more saturate the CDH.
+        for _ in 0..(6 + 64) {
+            adp.on_interval(&obs(10, &b, &d, 0));
+        }
+        assert!(adp.zero_traffic_fixed_point());
+        // At the fixed point a zero-traffic interval repeats its decision.
+        let a = adp.on_interval(&obs(10, &b, &d, 0));
+        let bb = adp.on_interval(&obs(10, &b, &d, 0));
+        assert_eq!(a, bb);
+        assert!(adp.zero_traffic_fixed_point());
+        // Traffic leaves the fixed point.
+        adp.on_interval(&obs(10, &b, &d, 5 * MB));
+        assert!(!adp.zero_traffic_fixed_point());
     }
 
     #[test]

@@ -54,6 +54,16 @@ impl AccuracyTracker {
         self.scored += 1;
     }
 
+    /// Bulk form of [`record`](Self::record)`(0, 0)` × `n`: tallies `n`
+    /// intervals where neither side carried traffic. The quiescence
+    /// fast-forward uses this to account a whole idle span's worth of
+    /// matured zero-predictions in O(1) with a state byte-identical to
+    /// `n` individual calls (a zero/zero record only bumps the skip
+    /// counter — `sum` and `scored` are untouched).
+    pub fn skip_empty(&mut self, n: u64) {
+        self.skipped_empty += n;
+    }
+
     /// Mean accuracy in `[0, 1]`, or `None` before the first informative
     /// interval.
     #[must_use]
@@ -118,6 +128,22 @@ mod tests {
         acc.record(10, 10);
         assert_eq!(acc.mean_accuracy(), Some(1.0));
         assert_eq!(acc.scored_intervals(), 1);
+    }
+
+    #[test]
+    fn bulk_skip_matches_individual_empty_records() {
+        let mut bulk = AccuracyTracker::new();
+        let mut looped = AccuracyTracker::new();
+        for acc in [&mut bulk, &mut looped] {
+            acc.record(100, 90);
+        }
+        bulk.skip_empty(1_000);
+        for _ in 0..1_000 {
+            looped.record(0, 0);
+        }
+        assert_eq!(bulk, looped);
+        assert_eq!(bulk.skipped_intervals(), 1_000);
+        assert_eq!(bulk.scored_intervals(), 1);
     }
 
     #[test]

@@ -148,6 +148,20 @@ impl DirectWritePredictor {
         self.cdh.observe(window_bytes);
     }
 
+    /// `true` when [`observe_interval`](Self::observe_interval)`(0)` would
+    /// map this predictor exactly onto itself: the recent-interval ring
+    /// holds a full horizon of zeros (push 0 / pop 0) *and* the CDH's
+    /// sliding window is saturated with zero window-totals (evict 0 /
+    /// record 0). The quiescence fast-forward uses this to skip the
+    /// per-tick poll across idle spans; the check is an O(window) scan
+    /// paid only when a skip is already plausible.
+    #[must_use]
+    pub fn at_zero_traffic_fixed_point(&self) -> bool {
+        self.recent_intervals.len() == self.nwb
+            && self.recent_intervals.iter().all(|&b| b == 0)
+            && self.cdh.window_full_of(0)
+    }
+
     /// The current demand estimate: `δ_dir` from the CDH at the configured
     /// percentile, spread evenly over the horizon. Before any observation
     /// the demand is zero (nothing to reserve for).
@@ -257,6 +271,30 @@ mod tests {
             light < heavy / 10,
             "CDH window failed to slide: {light} vs {heavy}"
         );
+    }
+
+    #[test]
+    fn zero_fixed_point_needs_horizon_and_cdh_saturation() {
+        let mut pred = predictor(0.8);
+        assert!(!pred.at_zero_traffic_fixed_point(), "fresh predictor");
+        // A full horizon of zero intervals is necessary but not
+        // sufficient: the CDH window (64 window-totals) must drain too.
+        for _ in 0..6 {
+            pred.observe_interval(0);
+        }
+        assert!(!pred.at_zero_traffic_fixed_point());
+        for _ in 0..CDH_WINDOW {
+            pred.observe_interval(0);
+        }
+        assert!(pred.at_zero_traffic_fixed_point());
+        // At the fixed point, observing another zero changes nothing.
+        let before = pred.clone();
+        pred.observe_interval(0);
+        assert_eq!(before.predict(), pred.predict());
+        assert!(pred.at_zero_traffic_fixed_point());
+        // Any traffic leaves the fixed point.
+        pred.observe_interval(MIB);
+        assert!(!pred.at_zero_traffic_fixed_point());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The simulation engine proper.
 
+use super::interval_log::IntervalLog;
 use crate::policy::{GcPolicy, IntervalObservation};
 use crate::predictor::{AccuracyTracker, BufferedWritePredictor, DirectWritePredictor};
 use crate::system::{PhaseProfile, SimReport, SystemConfig};
@@ -101,11 +102,27 @@ pub struct SsdSystem {
     // Interval accounting.
     direct_bytes_interval: u64,
     host_pages_at_tick: u64,
-    /// Per-interval device write traffic (bytes), one entry per past tick.
-    interval_actuals: Vec<u64>,
+    /// Per-interval device write traffic (bytes), one logical entry per
+    /// past tick — compacted below the oldest pending prediction and
+    /// run-length encoded across idle spans, so it stays bounded on
+    /// endurance runs.
+    interval_actuals: IntervalLog,
     /// Horizon predictions awaiting scoring: (tick index they were made
     /// at, predicted bytes over the following `N_wb` intervals).
     pending_predictions: std::collections::VecDeque<(usize, u64)>,
+
+    // Quiescence fast-forward (DESIGN.md §15). `last_tick_noop` is the
+    // dirty-flag core: the most recent tick verified itself a zero-traffic
+    // fixed point of `handle_tick`, and the capacity snapshot detects any
+    // FTL perturbation (BGC, trim, block retirement) since.
+    fast_forward: bool,
+    last_tick_noop: bool,
+    /// The prediction that tick pushed (`None` or `Some(0)` when noop).
+    last_tick_predicted: Option<u64>,
+    noop_free_pages: u64,
+    noop_reclaimable: ByteSize,
+    ticks_skipped: u64,
+    ff_spans: u64,
 
     // Counters.
     ops: u64,
@@ -202,8 +219,15 @@ impl SsdSystem {
             last_direct_demand: 0,
             direct_bytes_interval: 0,
             host_pages_at_tick: 0,
-            interval_actuals: Vec::new(),
+            interval_actuals: IntervalLog::new(),
             pending_predictions: std::collections::VecDeque::new(),
+            fast_forward: true,
+            last_tick_noop: false,
+            last_tick_predicted: None,
+            noop_free_pages: 0,
+            noop_reclaimable: ByteSize::ZERO,
+            ticks_skipped: 0,
+            ff_spans: 0,
             ops: 0,
             reads: 0,
             buffered_writes: 0,
@@ -292,8 +316,7 @@ impl SsdSystem {
     /// advance members in virtual-time lockstep; the caller owns the
     /// closed-loop schedule (think times, thread completion bookkeeping).
     pub fn step(&mut self, req: IoRequest, issue: SimTime) -> SimTime {
-        self.process_ticks_until(issue);
-        self.run_bgc_in_gap(issue);
+        self.catch_up(issue);
         let t0 = self.timer();
         let completion = self.execute(req, issue);
         if let Some(t0) = t0 {
@@ -309,8 +332,7 @@ impl SsdSystem {
     /// how an external scheduler lets a member's clock advance through a
     /// stretch where no request touched it.
     pub fn advance_to(&mut self, t: SimTime) {
-        self.process_ticks_until(t);
-        self.run_bgc_in_gap(t);
+        self.catch_up(t);
     }
 
     /// Builds the final report, treating `end` as the run's end time
@@ -409,7 +431,53 @@ impl SsdSystem {
     // Periodic host work (flusher + predictors + policy)
     // ------------------------------------------------------------------
 
+    /// Catches the engine up to time `t`: all owed periodic host work
+    /// (flusher, predictors, policy — looped or fast-forwarded) followed
+    /// by background GC in the idle gap up to `t`. This is the single
+    /// shared preamble of [`step`](Self::step) and
+    /// [`advance_to`](Self::advance_to), so every tick in the simulation
+    /// funnels through one place — and so does the fast-forward decision.
+    fn catch_up(&mut self, t: SimTime) {
+        if self.next_tick <= t {
+            let t0 = self.timer();
+            self.process_ticks_until(t);
+            if let Some(t0) = t0 {
+                self.profile.tick += t0.elapsed();
+            }
+        }
+        self.run_bgc_in_gap(t);
+    }
+
     fn process_ticks_until(&mut self, t: SimTime) {
+        while self.next_tick <= t {
+            // Quiescence can be *reached* partway through a long idle
+            // span (the cache drains and the predictors saturate during
+            // the first ticks of the gap), so the check runs before every
+            // tick, not just once on entry. The first tick that verifies
+            // skips the whole remainder in one bulk update.
+            if self.fast_forward && self.can_fast_forward() {
+                let span = t.saturating_since(self.next_tick);
+                let k = span.div_duration(self.config.flusher_period) + 1;
+                #[cfg(debug_assertions)]
+                self.fast_forward_checked(k, t);
+                #[cfg(not(debug_assertions))]
+                self.fast_forward_span(k);
+                self.ticks_skipped += k;
+                self.ff_spans += 1;
+                return;
+            }
+            let tick = self.next_tick;
+            self.run_bgc_in_gap(tick);
+            self.handle_tick(tick);
+            self.next_tick = tick + self.config.flusher_period;
+        }
+    }
+
+    /// The plain per-tick path, with no fast-forward consideration: the
+    /// debug oracle replays skipped spans through this to prove the bulk
+    /// update exact.
+    #[cfg(debug_assertions)]
+    fn run_tick_loop(&mut self, t: SimTime) {
         while self.next_tick <= t {
             let tick = self.next_tick;
             self.run_bgc_in_gap(tick);
@@ -418,10 +486,175 @@ impl SsdSystem {
         }
     }
 
+    /// The quiescence check (DESIGN.md §15): `true` when the next tick —
+    /// and by induction every tick until an external event — would map
+    /// the engine exactly onto its current state. Cheap dirty-flag and
+    /// counter comparisons come first; the O(window) predictor scans run
+    /// only once everything else has passed.
+    fn can_fast_forward(&self) -> bool {
+        // The most recent tick must have verified itself a no-op, and
+        // nothing may have perturbed the FTL's capacity picture since
+        // (BGC, trim, read-repair block retirement…).
+        if !self.last_tick_noop
+            || self.cache.dirty_count() > 0
+            || self.direct_bytes_interval != 0
+            || self.ftl.stats().host_pages_written != self.host_pages_at_tick
+            || self.ftl.free_pages() != self.noop_free_pages
+            || self.ftl.reclaimable_capacity() != self.noop_reclaimable
+        {
+            return false;
+        }
+        // Per-tick side effects the bulk update does not model.
+        if self.config.record_timeline || self.config.wear_leveling {
+            return false;
+        }
+        // BGC must be at target, otherwise inter-tick gaps do real work.
+        if self.ftl.free_pages() < self.target_free.as_u64() / self.page_size().as_u64() {
+            return false;
+        }
+        // The SG_IO cost folds into a closed form only when one tick's
+        // commands fit within the period (Lindley recursion unrolling
+        // needs c ≤ p); gate rather than assume.
+        if self.sip_tick_cost_applies()
+            && self.config.host_command_overhead.saturating_mul(4) > self.config.flusher_period
+        {
+            return false;
+        }
+        // Predictor and policy must be exact self-maps on a zero
+        // interval (lazy O(window) scans).
+        self.direct_pred.at_zero_traffic_fixed_point() && self.policy.zero_traffic_fixed_point()
+    }
+
+    fn sip_tick_cost_applies(&self) -> bool {
+        self.policy.uses_sip()
+            && self.config.manager_placement == crate::system::ManagerPlacement::Host
+    }
+
+    /// Applies the net effect of `k` consecutive quiescent ticks in
+    /// O(`N_wb`) instead of O(`k`):
+    ///
+    /// * `k` zero entries join the interval log (O(1), run-length
+    ///   encoded);
+    /// * pre-span pending predictions whose horizon closes inside the
+    ///   span score against their exact windows (same FIFO order, same
+    ///   `u64` sums, same float operations as the per-tick loop);
+    /// * in-span zero-predictions that mature within the span collapse
+    ///   to a bulk empty-skip; the last `min(k, N_wb)` survive into the
+    ///   queue;
+    /// * the per-tick SG_IO device cost folds in closed form
+    ///   `busy' = max(busy + k·c, T_k + c)` (valid because `c ≤ p` was
+    ///   gated);
+    /// * the clock jumps past the span.
+    ///
+    /// Everything else — cache, FTL, predictors, policy, demand
+    /// snapshots, `host_pages_at_tick` — is untouched, which is exactly
+    /// what `can_fast_forward` certified.
+    fn fast_forward_span(&mut self, k: u64) {
+        let p = self.config.flusher_period;
+        let nwb = self.config.nwb();
+        let l0 = self.interval_actuals.len();
+        self.interval_actuals.append_zeros(k as usize);
+        let new_len = l0 + k as usize;
+        if self.last_tick_predicted == Some(0) {
+            // Each quiescent tick re-issues the verified zero prediction.
+            // One made at span tick t (logical index l0 + t) matures once
+            // the log reaches l0 + t + N_wb, i.e. still within the span
+            // iff t ≤ k − N_wb; those score as 0-vs-0 empty skips. The
+            // rest stay pending.
+            let survivors = (k as usize).min(nwb);
+            self.accuracy.skip_empty(k - survivors as u64);
+            for t in (k as usize - survivors + 1)..=(k as usize) {
+                self.pending_predictions.push_back((l0 + t, 0));
+            }
+        }
+        // Score pre-span predictions maturing inside the span. They sit
+        // ahead of any in-span survivor in the FIFO queue and mature
+        // strictly earlier (their made_at is smaller), so this loop pops
+        // in exactly the order the per-tick path would.
+        while let Some(&(made_at, predicted)) = self.pending_predictions.front() {
+            if new_len < made_at + nwb {
+                break;
+            }
+            let actual = self.interval_actuals.sum_range(made_at, made_at + nwb);
+            self.accuracy.record(predicted, actual);
+            self.pending_predictions.pop_front();
+        }
+        self.compact_interval_log();
+        let t_last = self.next_tick + p.saturating_mul(k - 1);
+        if self.sip_tick_cost_applies() {
+            let c = self.config.host_command_overhead.saturating_mul(4);
+            self.device_busy_until = (self.device_busy_until + c.saturating_mul(k)).max(t_last + c);
+        }
+        self.next_tick = t_last + p;
+    }
+
+    /// Debug-build oracle: computes the bulk span outcome, rolls it
+    /// back, replays the span through the untouched per-tick path, and
+    /// asserts the two end states are identical — the strongest form of
+    /// the repo's equivalence-oracle convention, run on every skip.
+    #[cfg(debug_assertions)]
+    fn fast_forward_checked(&mut self, k: u64, t: SimTime) {
+        let saved = (
+            self.interval_actuals.clone(),
+            self.pending_predictions.clone(),
+            self.accuracy,
+            self.device_busy_until,
+            self.next_tick,
+            self.target_free,
+        );
+        self.fast_forward_span(k);
+        let expected = (
+            self.interval_actuals.clone(),
+            self.pending_predictions.clone(),
+            self.accuracy,
+            self.device_busy_until,
+            self.next_tick,
+            self.target_free,
+        );
+        (
+            self.interval_actuals,
+            self.pending_predictions,
+            self.accuracy,
+            self.device_busy_until,
+            self.next_tick,
+            self.target_free,
+        ) = saved;
+        self.run_tick_loop(t);
+        let replayed = (
+            self.interval_actuals.clone(),
+            self.pending_predictions.clone(),
+            self.accuracy,
+            self.device_busy_until,
+            self.next_tick,
+            self.target_free,
+        );
+        assert_eq!(
+            expected, replayed,
+            "quiescence fast-forward diverged from the per-tick replay over {k} ticks"
+        );
+    }
+
+    /// Drops interval-log entries below the oldest window any pending
+    /// prediction can still score against (satellite of DESIGN.md §15:
+    /// bounded memory on endurance runs).
+    fn compact_interval_log(&mut self) {
+        let floor = self
+            .pending_predictions
+            .front()
+            .map_or(self.interval_actuals.len(), |&(made_at, _)| made_at);
+        self.interval_actuals.compact(floor);
+    }
+
     fn handle_tick(&mut self, now: SimTime) {
+        // Direct traffic of the closing interval, read before step 3
+        // resets it — one input of the quiescence verdict below.
+        let entry_direct_bytes = self.direct_bytes_interval;
+        let entry_target = self.target_free;
+
         // 1. Flusher thread: write back expired / pressured dirty pages.
         let t0 = self.timer();
         let batch = self.cache.flusher_tick(now);
+        let batch_was_empty = batch.lpns.is_empty();
         if !batch.lpns.is_empty() {
             match self.ftl.flush_batch(&batch.lpns, now) {
                 Ok(out) => {
@@ -460,10 +693,11 @@ impl SsdSystem {
             if self.interval_actuals.len() < made_at + nwb {
                 break;
             }
-            let actual: u64 = self.interval_actuals[made_at..made_at + nwb].iter().sum();
+            let actual = self.interval_actuals.sum_range(made_at, made_at + nwb);
             self.accuracy.record(predicted, actual);
             self.pending_predictions.pop_front();
         }
+        self.compact_interval_log();
 
         // 3. Kernel-side predictors (paper Sec. 3.2). The SIP list is a
         //    scratch buffer ping-ponged with the FTL (step 5), so the
@@ -552,6 +786,30 @@ impl SsdSystem {
                 }
                 Err(e) => panic!("wear leveling: {e}"),
             }
+        }
+
+        // 8. Quiescence verdict (DESIGN.md §15). This tick was a
+        //    zero-traffic fixed point iff nothing flowed (empty flush
+        //    batch, no host or direct bytes), the post-flush cache is
+        //    clean (so the SIP list just installed — if any — was empty
+        //    and the buffered demand scan returned zero), both demand
+        //    totals are zero, and the policy reproduced its target with a
+        //    trivial prediction. Under those conditions — plus the
+        //    predictor/policy self-map checks and the capacity snapshot
+        //    below, verified again at skip time — the next zero-traffic
+        //    tick repeats this one exactly.
+        self.last_tick_noop = batch_was_empty
+            && actual_bytes == 0
+            && entry_direct_bytes == 0
+            && self.cache.dirty_count() == 0
+            && self.last_buffered_demand == 0
+            && self.last_direct_demand == 0
+            && self.target_free == entry_target
+            && matches!(decision.predicted_next_interval, None | Some(0));
+        self.last_tick_predicted = decision.predicted_next_interval;
+        if self.last_tick_noop {
+            self.noop_free_pages = self.ftl.free_pages();
+            self.noop_reclaimable = self.ftl.reclaimable_capacity();
         }
     }
 
@@ -852,6 +1110,39 @@ impl SsdSystem {
     /// exists for A/B measurement (see `Ftl::set_bulk_gc`).
     pub fn set_bulk_gc(&mut self, enabled: bool) {
         self.ftl.set_bulk_gc(enabled);
+    }
+
+    /// Selects the tick-processing path: quiescence fast-forward
+    /// (default) or the pure per-tick loop. Observationally identical —
+    /// reports are byte-for-byte the same either way (debug builds
+    /// replay every skipped span and assert it); the switch exists for
+    /// A/B measurement and as the release-build oracle hook.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Ticks skipped by the quiescence fast-forward so far. Zero with
+    /// the fast-forward off; deliberately *not* part of [`SimReport`] so
+    /// reports stay byte-identical across the switch.
+    #[must_use]
+    pub fn ticks_skipped(&self) -> u64 {
+        self.ticks_skipped
+    }
+
+    /// Contiguous fast-forwarded spans so far (each covers one or more
+    /// skipped ticks).
+    #[must_use]
+    pub fn ff_spans(&self) -> u64 {
+        self.ff_spans
+    }
+
+    /// Explicitly stored interval-log entries (the logical tick count
+    /// keeps growing; this must stay bounded — asserted by the memory
+    /// regression tests).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn interval_log_materialized_len(&self) -> usize {
+        self.interval_actuals.materialized_len()
     }
 
     /// LPNs of the most recent request whose flash read came back
@@ -1181,6 +1472,104 @@ mod tests {
         assert_eq!(report.waf, base.waf);
         assert_eq!(report.nand_erases, base.nand_erases);
         assert_eq!(report.latency_p99_us, base.latency_p99_us);
+    }
+
+    /// A workload with long inter-burst idle gaps: low IOPS, large
+    /// bursts, so the engine crosses many consecutive zero-traffic ticks
+    /// (the quiescence fast-forward's target regime).
+    fn bursty_idle_system(policy: Box<dyn GcPolicy>, secs: u64, seed: u64) -> SsdSystem {
+        let config = SystemConfig::small_for_tests();
+        let wl_cfg = WorkloadConfig::builder()
+            .working_set_pages(config.ftl.user_pages() / 2)
+            .duration(SimDuration::from_secs(secs))
+            .mean_iops(1.0)
+            .burst_mean(600.0)
+            .seed(seed)
+            .build();
+        let workload = BenchmarkKind::Ycsb.build(wl_cfg);
+        SsdSystem::new(config, policy, workload)
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_ticks_and_preserves_the_report() {
+        // ~1 IOPS with 600-request bursts → ~10-minute idle gaps, far
+        // past the ~(N_wb + CDH window) warm-up the fixed point needs.
+        let cfg = SystemConfig::small_for_tests();
+        let mut on = bursty_idle_system(Box::new(JitGc::from_system_config(&cfg)), 4_000, 21);
+        let mut off = bursty_idle_system(Box::new(JitGc::from_system_config(&cfg)), 4_000, 21);
+        off.set_fast_forward(false);
+        let report_on = on.run();
+        let report_off = off.run();
+        assert!(
+            on.ticks_skipped() > 50,
+            "idle-heavy run skipped only {} ticks in {} spans",
+            on.ticks_skipped(),
+            on.ff_spans()
+        );
+        assert!(on.ff_spans() > 0);
+        assert_eq!(off.ticks_skipped(), 0, "switch off ⇒ pure per-tick loop");
+        assert_eq!(off.ff_spans(), 0);
+        // Byte-identical reports across the switch (in this debug build
+        // every skipped span was additionally replayed and asserted by
+        // the oracle inside `fast_forward_checked`).
+        assert_eq!(
+            serde_json_like(&report_on),
+            serde_json_like(&report_off),
+            "fast-forward changed the simulation"
+        );
+    }
+
+    /// Debug-printable full-report comparison without requiring serde in
+    /// the default build.
+    fn serde_json_like(report: &SimReport) -> String {
+        format!("{report:?}")
+    }
+
+    #[test]
+    fn fast_forward_handles_all_quiescent_policies() {
+        let cfg = SystemConfig::small_for_tests();
+        let policies: Vec<Box<dyn GcPolicy>> = vec![
+            Box::new(NoBgc),
+            Box::new(ReservedCapacity::lazy(cfg.op_capacity())),
+            Box::new(adp(&cfg)),
+            Box::new(JitGc::from_system_config(&cfg)),
+        ];
+        for policy in policies {
+            let name = policy.name();
+            let mut sys = bursty_idle_system(policy, 3_000, 33);
+            let _ = sys.run();
+            assert!(
+                sys.ticks_skipped() > 0,
+                "{name}: no ticks skipped on an idle-heavy run"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_log_stays_bounded_on_long_runs() {
+        // The predicting policy keeps a pending queue, so the log must
+        // retain at most ~N_wb scored entries plus the open horizon —
+        // never one entry per elapsed tick (satellite: unbounded-growth
+        // fix). 2000 s at a 5 s period is 400 ticks; the bound is far
+        // below that and independent of run length.
+        let cfg = SystemConfig::small_for_tests();
+        for (policy, label) in [
+            (
+                Box::new(JitGc::from_system_config(&cfg)) as Box<dyn GcPolicy>,
+                "JIT-GC",
+            ),
+            (Box::new(NoBgc) as Box<dyn GcPolicy>, "No-BGC"),
+        ] {
+            let mut sys = bursty_idle_system(policy, 2_000, 7);
+            sys.set_fast_forward(false); // worst case: every tick materializes
+            let _ = sys.run();
+            let bound = 2 * cfg.nwb() + 2;
+            assert!(
+                sys.interval_log_materialized_len() <= bound,
+                "{label}: {} materialized entries > bound {bound}",
+                sys.interval_log_materialized_len()
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 mod config;
 mod engine;
+mod interval_log;
 mod profile;
 mod report;
 

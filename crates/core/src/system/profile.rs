@@ -29,12 +29,20 @@ pub struct PhaseProfile {
     /// from [`accounted`](Self::accounted); it isolates the cost the
     /// batched `copy_pages` migration path attacks.
     pub gc_copy: Duration,
+    /// The whole periodic-catch-up step: every tick processed (or
+    /// fast-forwarded) between requests, including the quiescence check.
+    /// **Super-phase**: it contains `flush`, `predictor` and the tick-time
+    /// share of `bgc`, so it is excluded from
+    /// [`accounted`](Self::accounted); it isolates the per-tick overhead
+    /// the quiescence fast-forward attacks.
+    pub tick: Duration,
 }
 
 impl PhaseProfile {
     /// Total time attributed to a phase (the remainder up to the run's
     /// wall time is untracked glue: workload generation, scheduling).
-    /// `gc_copy` is a sub-phase of the top-level phases and not summed.
+    /// `gc_copy` (sub-phase) and `tick` (super-phase) overlap the
+    /// top-level phases and are not summed.
     #[must_use]
     pub fn accounted(&self) -> Duration {
         self.request_execution + self.flush + self.predictor + self.bgc + self.reporting

@@ -24,12 +24,15 @@
 //!   --no-backpressure      track tiers but never defer or shed
 //!   --worker-threads <N>   trace-generation workers; reports are
 //!                          byte-identical for any value        (default 1)
+//!   --fast-forward on|off  engine quiescence fast-forward; reports are
+//!                          byte-identical either way           (default on)
 //!   --small                use the small test device (default: default_sim)
 //!   --no-prefill           start from an erased device (default: aged)
 //!   --json                 emit the deterministic service report as JSON
 //!   --bench-json <path>    write a machine-readable perf record
-//!                          (`ssdsim-bench/8`: wall-time fields plus the
-//!                          full `service` block)
+//!                          (`ssdsim-bench/9`: wall-time fields, the
+//!                          fast-forward counters and the full `service`
+//!                          block)
 //!   --listen <addr>        serve the wire protocol on a TCP address
 //!                          instead of running the in-process demo
 //!   --unix <path>          serve on a Unix socket (unix only)
@@ -44,7 +47,7 @@ use std::time::Instant;
 
 use jitgc_core::system::SystemConfig;
 use jitgc_service::{
-    run_closed_loop, serve, Endpoint, PolicyChoice, Service, ServiceConfig, ServiceReport,
+    run_closed_loop_counting, serve, Endpoint, PolicyChoice, Service, ServiceConfig, ServiceReport,
     TenantProfile, TenantSpec, TierThresholds,
 };
 use jitgc_sim::json::{JsonValue, ObjectBuilder};
@@ -60,6 +63,7 @@ struct Args {
     tiers: TierThresholds,
     backpressure: bool,
     worker_threads: usize,
+    fast_forward: bool,
     small: bool,
     prefill: bool,
     json: bool,
@@ -81,6 +85,7 @@ impl Default for Args {
             tiers: TierThresholds::default(),
             backpressure: true,
             worker_threads: 1,
+            fast_forward: true,
             small: false,
             prefill: true,
             json: false,
@@ -124,7 +129,8 @@ fn usage() -> ! {
     eprintln!("               [--seconds N] [--seed N] [--sq-depth N]");
     eprintln!("               [--dispatch-window N] [--tier-yellow F] [--tier-red F]");
     eprintln!("               [--tier-black F] [--tier-hysteresis F]");
-    eprintln!("               [--no-backpressure] [--worker-threads N] [--small]");
+    eprintln!("               [--no-backpressure] [--worker-threads N]");
+    eprintln!("               [--fast-forward on|off] [--small]");
     eprintln!("               [--no-prefill] [--json] [--bench-json PATH]");
     eprintln!("               [--listen ADDR | --unix PATH] [--sessions N]");
     eprintln!("see the module docs (`ssdsimd.rs`) for value sets");
@@ -204,6 +210,13 @@ fn parse_args() -> Args {
             }
             "--no-backpressure" => args.backpressure = false,
             "--worker-threads" => args.worker_threads = value().parse().unwrap_or_else(|_| usage()),
+            "--fast-forward" => {
+                args.fast_forward = match value().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    v => fail(format!("--fast-forward must be on|off, got `{v}`")),
+                }
+            }
             "--small" => args.small = true,
             "--no-prefill" => args.prefill = false,
             "--json" => args.json = true,
@@ -218,9 +231,17 @@ fn parse_args() -> Args {
     args
 }
 
-/// The `--bench-json` perf record: wall-clock throughput of the simulator
-/// plus the full deterministic `service` block (schema `ssdsim-bench/8`).
-fn perf_record(args: &Args, report: &ServiceReport, setup_secs: f64, run_secs: f64) -> JsonValue {
+/// The `--bench-json` perf record: wall-clock throughput of the simulator,
+/// the quiescence fast-forward counters and the full deterministic
+/// `service` block (schema `ssdsim-bench/9`).
+fn perf_record(
+    args: &Args,
+    report: &ServiceReport,
+    ticks_skipped: u64,
+    ff_spans: u64,
+    setup_secs: f64,
+    run_secs: f64,
+) -> JsonValue {
     let per_sec = |count: u64| -> f64 {
         if run_secs > 0.0 {
             count as f64 / run_secs
@@ -229,7 +250,7 @@ fn perf_record(args: &Args, report: &ServiceReport, setup_secs: f64, run_secs: f
         }
     };
     ObjectBuilder::new()
-        .field("schema", "ssdsim-bench/8")
+        .field("schema", "ssdsim-bench/9")
         .field("benchmark", "service")
         .field("policy", report.device.policy.as_str())
         .field("seed", args.seed)
@@ -250,6 +271,11 @@ fn perf_record(args: &Args, report: &ServiceReport, setup_secs: f64, run_secs: f
         )
         .field("ops_per_wall_sec", per_sec(report.device.ops))
         .field("worker_threads", args.worker_threads as u64)
+        // Schema 9: the quiescence fast-forward telemetry (wall-clock
+        // only; the deterministic report carries neither counter).
+        .field("fast_forward", args.fast_forward)
+        .field("ticks_skipped", ticks_skipped)
+        .field("ff_spans", ff_spans)
         // Schema 8: the multi-tenant service block (deterministic).
         .field("service", report.to_json())
         .build()
@@ -323,6 +349,7 @@ fn main() {
         tiers: args.tiers,
         backpressure: args.backpressure,
         worker_threads: args.worker_threads,
+        fast_forward: args.fast_forward,
         seconds: args.seconds,
         seed: args.seed,
         system,
@@ -335,7 +362,7 @@ fn main() {
     }
 
     let setup_start = Instant::now();
-    let report = if args.listen.is_some() || args.unix.is_some() {
+    let (report, ticks_skipped, ff_spans) = if args.listen.is_some() || args.unix.is_some() {
         let endpoint = if let Some(addr) = &args.listen {
             let listener = std::net::TcpListener::bind(addr)
                 .unwrap_or_else(|e| fail(format!("cannot listen on {addr}: {e}")));
@@ -361,9 +388,10 @@ fn main() {
         let service = Service::new(cfg, args.policy.build(&args_system(&args)));
         let mut service = serve(endpoint, service, sessions)
             .unwrap_or_else(|e| fail(format!("serve failed: {e}")));
-        service.finalize(SimTime::from_secs(seconds))
+        let report = service.finalize(SimTime::from_secs(seconds));
+        (report, service.ticks_skipped(), service.ff_spans())
     } else {
-        run_closed_loop(&cfg, args.policy.build(&cfg.system))
+        run_closed_loop_counting(&cfg, args.policy.build(&cfg.system))
     };
     let setup_plus_run = setup_start.elapsed().as_secs_f64();
 
@@ -371,7 +399,7 @@ fn main() {
         // The whole wall time is `run` here; the service builds its
         // engine inside the run (prefill included in setup would need
         // instrumentation the report does not carry).
-        let record = perf_record(&args, &report, 0.0, setup_plus_run);
+        let record = perf_record(&args, &report, ticks_skipped, ff_spans, 0.0, setup_plus_run);
         std::fs::write(path, record.to_pretty()).expect("write bench JSON");
         eprintln!("wrote perf record to {path}");
     }

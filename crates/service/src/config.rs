@@ -116,6 +116,10 @@ pub struct ServiceConfig {
     /// of the in-process driver (≥ 1, ≤ tenant count). Reports are
     /// byte-identical for any value.
     pub worker_threads: usize,
+    /// Engine quiescence fast-forward (DESIGN.md §15; on by default).
+    /// Byte-identical reports either way — purely a wall-clock switch,
+    /// kept here so an A/B harness can flip it per run.
+    pub fast_forward: bool,
     /// Simulated seconds each tenant's workload emits.
     pub seconds: u64,
     /// Base RNG seed; tenant `i` derives its stream seed from it.
@@ -159,6 +163,7 @@ impl ServiceConfig {
             tiers: TierThresholds::default(),
             backpressure: true,
             worker_threads: 1,
+            fast_forward: true,
             seconds: 30,
             seed: 42,
             system: SystemConfig::small_for_tests(),

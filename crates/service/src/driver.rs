@@ -123,6 +123,22 @@ impl TenantLoop {
 /// Panics if [`ServiceConfig::validate`] rejects the configuration.
 #[must_use]
 pub fn run_closed_loop(cfg: &ServiceConfig, policy: Box<dyn GcPolicy>) -> ServiceReport {
+    run_closed_loop_counting(cfg, policy).0
+}
+
+/// [`run_closed_loop`], additionally returning the engine's quiescence
+/// fast-forward counters `(report, ticks_skipped, ff_spans)` — wall-clock
+/// telemetry the deterministic report deliberately omits (the bench
+/// harness records them; see `ssdsimd --bench-json`).
+///
+/// # Panics
+///
+/// Panics if [`ServiceConfig::validate`] rejects the configuration.
+#[must_use]
+pub fn run_closed_loop_counting(
+    cfg: &ServiceConfig,
+    policy: Box<dyn GcPolicy>,
+) -> (ServiceReport, u64, u64) {
     if let Err(message) = cfg.validate() {
         panic!("invalid service config: {message}");
     }
@@ -181,7 +197,8 @@ pub fn run_closed_loop(cfg: &ServiceConfig, policy: Box<dyn GcPolicy>) -> Servic
         }
     }
     let end = last_completion.max(SimTime::from_secs(cfg.seconds));
-    service.finalize(end)
+    let report = service.finalize(end);
+    (report, service.ticks_skipped(), service.ff_spans())
 }
 
 #[cfg(test)]

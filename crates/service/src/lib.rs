@@ -50,7 +50,7 @@ mod tier;
 mod wfq;
 
 pub use config::{ServiceConfig, TenantProfile, TenantSpec, TierThresholds};
-pub use driver::run_closed_loop;
+pub use driver::{run_closed_loop, run_closed_loop_counting};
 pub use net::{serve, Client, Endpoint};
 pub use policy::PolicyChoice;
 pub use proto::{read_frame, write_frame, Frame};

@@ -116,6 +116,7 @@ impl Service {
         // externally; the stub only sizes prefill and names the report.
         let stub = NullWorkload::new("service", working_set, WriteMix::new(0.5));
         let mut engine = SsdSystem::new(cfg.system.clone(), policy, Box::new(stub));
+        engine.set_fast_forward(cfg.fast_forward);
         if cfg.system.prefill {
             engine.prefill();
         }
@@ -151,6 +152,20 @@ impl Service {
     #[must_use]
     pub fn tier(&self) -> Tier {
         self.tier.current()
+    }
+
+    /// Flusher ticks the engine's quiescence fast-forward elided so far
+    /// (see [`SsdSystem::ticks_skipped`]). Not part of the report — the
+    /// report stays byte-identical with the fast-forward off.
+    #[must_use]
+    pub fn ticks_skipped(&self) -> u64 {
+        self.engine.ticks_skipped()
+    }
+
+    /// Fast-forwarded idle spans so far (see [`SsdSystem::ff_spans`]).
+    #[must_use]
+    pub fn ff_spans(&self) -> u64 {
+        self.engine.ff_spans()
     }
 
     /// Pages of logical space each tenant owns.

@@ -95,6 +95,17 @@ impl Cdh {
         self.recent.back().copied()
     }
 
+    /// `true` when the sliding window is full and every retained
+    /// observation equals `bytes`. In that state a further
+    /// [`observe`](Self::observe)`(bytes)` is an exact no-op — it evicts
+    /// one `bytes` entry and records another — which is what lets a
+    /// quiescent simulation skip the call entirely. O(window) scan; no
+    /// extra state is maintained for it.
+    #[must_use]
+    pub fn window_full_of(&self, bytes: u64) -> bool {
+        self.recent.len() == self.window && self.recent.iter().all(|&b| b == bytes)
+    }
+
     /// Read-only view of the underlying histogram (for reporting).
     #[must_use]
     pub fn histogram(&self) -> &Histogram {
@@ -168,6 +179,39 @@ mod tests {
     #[should_panic(expected = "window must be non-empty")]
     fn zero_window_panics() {
         let _ = Cdh::new(10, 0);
+    }
+
+    #[test]
+    fn window_full_of_requires_saturation() {
+        let mut cdh = Cdh::new(10, 3);
+        assert!(!cdh.window_full_of(0), "empty window is not saturated");
+        cdh.observe(0);
+        cdh.observe(0);
+        assert!(!cdh.window_full_of(0), "window not yet full");
+        cdh.observe(0);
+        assert!(cdh.window_full_of(0));
+        assert!(!cdh.window_full_of(5));
+        // One non-zero observation breaks it; three more zeros restore it.
+        cdh.observe(42);
+        assert!(!cdh.window_full_of(0));
+        for _ in 0..3 {
+            cdh.observe(0);
+        }
+        assert!(cdh.window_full_of(0));
+    }
+
+    #[test]
+    fn observe_on_a_saturated_window_is_a_no_op() {
+        let mut cdh = Cdh::new(10, 4);
+        for _ in 0..4 {
+            cdh.observe(0);
+        }
+        let before = (cdh.len(), cdh.reserve_for(0.8), cdh.histogram().total());
+        cdh.observe(0);
+        assert_eq!(
+            before,
+            (cdh.len(), cdh.reserve_for(0.8), cdh.histogram().total())
+        );
     }
 
     #[test]
